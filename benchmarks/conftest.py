@@ -1,0 +1,7 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure and prints the
+reproduced rows (run with ``-s`` to see them inline); the
+pytest-benchmark timing table then shows the cost of regenerating each
+result.
+"""

@@ -1,0 +1,70 @@
+"""Benchmark: the design-choice ablations (DESIGN.md §5)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_bench_background_subtraction(benchmark):
+    result = benchmark(ablations.run_background_subtraction_ablation)
+    # Without subtraction the AP ranges to the strongest clutter, not the
+    # node — a meters-scale failure versus centimeter success.
+    assert result.error_with_subtraction_m < 0.1
+    assert result.error_without_subtraction_m > 1.0
+
+
+def test_bench_fsa_size(benchmark):
+    rows = benchmark(ablations.run_fsa_size_ablation)
+    gains = [r["Peak gain (dBi)"] for r in rows]
+    widths = [r["Beamwidth (deg)"] for r in rows]
+    snrs = [r["Uplink SNR (dB)"] for r in rows]
+    assert gains == sorted(gains)
+    assert widths == sorted(widths, reverse=True)
+    assert snrs[-1] > snrs[0]
+
+
+def test_bench_switch_rate(benchmark):
+    rows = benchmark(ablations.run_switch_rate_ablation)
+    by_rate = {r["Switch toggle rate (MHz)"]: r["Max uplink rate (Mbps)"] for r in rows}
+    assert by_rate[80.0] == pytest.approx(160.0)  # the paper's ceiling
+    assert by_rate[320.0] == pytest.approx(200.0)  # then the MCU GPIO binds
+
+
+def test_bench_detector_bandwidth(benchmark):
+    rows = benchmark(ablations.run_detector_bandwidth_ablation)
+    by_bw = {r["Video bandwidth (MHz)"]: r["Max downlink rate (Mbps)"] for r in rows}
+    assert by_bw[40.0] == pytest.approx(36.0)  # the paper's ceiling
+    assert by_bw[400.0] > by_bw[40.0]  # "use a faster detector" (§9.4)
+
+
+def test_bench_modulation(benchmark):
+    rows = benchmark(ablations.run_modulation_ablation)
+    oaqfm, ook = rows
+    assert oaqfm["Throughput (Mbps)"] == 2 * ook["Throughput (Mbps)"]
+    assert oaqfm["BER"] == 0.0
+
+
+def test_bench_peak_refinement(benchmark):
+    rows = benchmark(ablations.run_peak_refinement_ablation, n_trials=6)
+    by_kind = {r["Peak detection"]: r["Mean error (deg)"] for r in rows}
+    assert by_kind["parabolic"] <= by_kind["argmax (firmware)"] + 0.1
+
+
+def test_bench_chirp_bandwidth(benchmark):
+    rows = benchmark(ablations.run_chirp_bandwidth_ablation)
+    floors = [r["Error, ideal slope cal (cm)"] for r in rows]
+    real = [r["Error, real instrument (cm)"] for r in rows]
+    # Precision floor improves monotonically with bandwidth...
+    assert floors == sorted(floors, reverse=True)
+    assert floors[0] > 5 * floors[-1]
+    # ...but the instrument systematic dominates the realistic numbers,
+    # which stay within a factor ~2 across a 6x bandwidth change.
+    assert max(real) < 2.5 * min(real)
+
+
+def test_bench_subtraction_burst(benchmark):
+    rows = benchmark(ablations.run_subtraction_burst_ablation)
+    by_chirps = {r["Chirps"]: r for r in rows}
+    # The paper's 5-chirp burst is already in the averaged regime; going
+    # to 9 chirps buys little, 3 chirps loses little — air time chose 5.
+    assert by_chirps[9]["Mean error (cm)"] <= by_chirps[3]["Mean error (cm)"] + 0.2

@@ -1,0 +1,46 @@
+"""Benchmarks: the beyond-the-paper deployment studies."""
+
+from repro.analysis.report import render_table
+from repro.experiments import coverage_map, goodput
+
+
+def test_bench_coverage_map(benchmark):
+    cov = benchmark(
+        coverage_map.run_coverage_map,
+        x_range_m=(2.0, 11.0),
+        n_x=7,
+        n_y=5,
+        n_trials=2,
+        seed=77,
+    )
+    rings = cov.ring_statistics()
+    # Coverage must collapse past the two-way 40 Mbps range edge.
+    near = next(r for r in rings if r["Ring (m)"].startswith("3"))
+    far = next(r for r in rings if r["Ring (m)"].startswith("9"))
+    assert near["Coverage (%)"] > 70.0
+    assert far["Coverage (%)"] < near["Coverage (%)"]
+    print()
+    print(cov.ascii_map())
+    print(render_table(rings, title="Coverage rings (40 Mbps uplink)"))
+
+
+def test_bench_goodput_payload_tax(benchmark):
+    rows = benchmark(goodput.run_payload_sweep)
+    by_size = {r["Payload (B)"]: r for r in rows}
+    # The preamble tax: 16 B packets waste >95% of air time; 4 kB
+    # packets recover most of the PHY rate.
+    assert by_size[16]["Efficiency (%)"] < 5.0
+    assert by_size[4096]["Efficiency (%)"] > 50.0
+    print()
+    print(render_table(rows, title="Goodput vs payload size"))
+
+
+def test_bench_goodput_vs_range(benchmark):
+    rows = benchmark(
+        goodput.run_range_sweep, distances_m=(2.0, 8.0, 9.5), n_packets=3, seed=99
+    )
+    goodputs = [r["Goodput (Mbps)"] for r in rows]
+    assert goodputs[0] > 0.0
+    assert goodputs == sorted(goodputs, reverse=True)
+    print()
+    print(render_table(rows, title="Delivered goodput vs distance (ARQ x4)"))

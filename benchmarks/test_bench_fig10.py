@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 10 (dual-port FSA beam pattern)."""
+
+from repro.experiments import fig10_beam_pattern
+
+
+def test_bench_fig10_beam_pattern(benchmark):
+    result = benchmark(fig10_beam_pattern.run_fig10)
+    # Paper: >10 dBi beams, ~60 deg coverage, mirrored ports.
+    assert result.min_peak_gain_dbi() > 10.0
+    assert abs(result.scan_coverage_deg - 60.0) < 3.0
+    for freq in fig10_beam_pattern.SAMPLE_FREQUENCIES_HZ:
+        assert abs(
+            result.beam_directions_a_deg[freq] + result.beam_directions_b_deg[freq]
+        ) < 0.01
+    print()
+    print(fig10_beam_pattern.main())

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 11 (OAQFM microbenchmark)."""
+
+from repro.experiments import fig11_oaqfm
+
+
+def test_bench_fig11_oaqfm(benchmark):
+    bench = benchmark(fig11_oaqfm.run_fig11)
+    matrix = bench.symbol_matrix()
+    # Each port must detect exactly its own tone per symbol (paper Fig. 11).
+    detects = [(row["Port A detects"], row["Port B detects"]) for row in matrix]
+    assert detects == [(False, False), (False, True), (True, False), (True, True)]
+    print()
+    print(fig11_oaqfm.main())

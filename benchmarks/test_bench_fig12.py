@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 12 (localization performance)."""
+
+import numpy as np
+
+from repro.experiments import fig12_localization
+
+N_TRIALS = 10
+
+
+def test_bench_fig12a_ranging(benchmark):
+    points = benchmark(
+        fig12_localization.run_fig12_ranging, n_trials=N_TRIALS, seed=12
+    )
+    by_d = {p.parameter: p for p in points}
+    # Paper: mean <5 cm at 5 m, <12 cm at 8 m; errors grow with distance.
+    assert by_d[5.0].mean < 0.08
+    assert by_d[8.0].mean < 0.20
+    assert by_d[2.0].mean < by_d[8.0].mean
+    print()
+    print(
+        fig12_localization.render_table(
+            fig12_localization.ranging_rows(points),
+            title="Figure 12a reproduction (paper: <5 cm @5 m, <12 cm @8 m)",
+        )
+    )
+
+
+def test_bench_fig12b_angle_cdf(benchmark):
+    errors = benchmark(fig12_localization.run_fig12_angle, n_trials=N_TRIALS, seed=13)
+    median = float(np.median(errors))
+    p90 = float(np.percentile(errors, 90))
+    # Paper: median 1.1 deg, p90 2.5 deg.
+    assert median < 2.0
+    assert p90 < 4.0
+    print(f"\nFigure 12b reproduction: median={median:.2f} deg (paper 1.1), "
+          f"p90={p90:.2f} deg (paper 2.5)")

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 14 (downlink SINR vs distance)."""
+
+from repro.experiments import fig14_downlink
+from repro.phy.ber import ook_matched_filter_ber
+
+
+def test_bench_fig14_downlink(benchmark):
+    figure = benchmark(fig14_downlink.run_fig14, n_trials=6, seed=14)
+    sinrs = [p.mean for p in figure.sinr_points]
+    # Paper: SINR monotonically falls, stays >12 dB at 10 m; the ~14 dB
+    # drop from 2 m to 10 m follows the one-way 20 log d law.
+    assert all(a > b for a, b in zip(sinrs, sinrs[1:]))
+    assert figure.sinr_at(10.0) > 12.0
+    drop = figure.sinr_at(2.0) - figure.sinr_at(10.0)
+    assert 10.0 < drop < 18.0
+    # 12 dB SINR implies BER below 1e-8 under the paper's mapping.
+    assert ook_matched_filter_ber(figure.sinr_at(10.0)) < 1e-8
+    assert figure.max_downlink_rate_bps == 36e6
+    print()
+    print(fig14_downlink.render_table(fig14_downlink.figure_rows(figure),
+                                      title="Figure 14 reproduction"))

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 15 (uplink SNR vs distance, two rates)."""
+
+from repro.experiments import fig15_uplink
+
+
+def test_bench_fig15_uplink(benchmark):
+    figure = benchmark(fig15_uplink.run_fig15, n_trials=6, seed=15)
+    snr10 = {p.parameter: p.mean for p in figure.snr_10mbps}
+    snr40 = {p.parameter: p.mean for p in figure.snr_40mbps}
+    # Paper shapes: short-range flattening (phase-noise cap), two-way
+    # roll-off beyond it, 10 Mbps usable at 8 m, 40 Mbps ~6 dB below.
+    assert abs(snr10[1.0] - snr10[2.0]) < 3.0          # capped region
+    assert snr10[4.0] - snr10[8.0] > 5.0               # 1/d^4 region
+    assert snr10[8.0] > 10.0                            # paper: low BER at 8 m
+    assert snr40[6.0] > 8.0                             # paper: usable at 6 m
+    assert 2.0 < figure.rate_gap_db(6.0) < 9.0          # ~6 dB bandwidth cost
+    assert figure.max_uplink_rate_bps == 160e6
+    print()
+    print(fig15_uplink.render_table(fig15_uplink.figure_rows(figure),
+                                    title="Figure 15 reproduction"))

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate the §9.6 power-consumption numbers."""
+
+import pytest
+
+from repro.experiments import power_table
+
+
+def test_bench_power_table(benchmark):
+    report = benchmark(power_table.run_power_table)
+    # The four headline numbers of §9.6.
+    assert report.downlink_w == pytest.approx(18e-3, rel=1e-6)
+    assert report.localization_w == pytest.approx(18e-3, rel=1e-2)
+    assert report.uplink_w == pytest.approx(32e-3, rel=1e-6)
+    assert report.downlink_energy_j_per_bit == pytest.approx(0.5e-9, rel=1e-6)
+    assert report.uplink_energy_j_per_bit == pytest.approx(0.8e-9, rel=1e-6)
+    assert report.mcu_w == pytest.approx(5.76e-3)
+    # Uplink costs more than downlink purely through switch toggling.
+    switch_increment = report.breakdown_uplink["spdt-switch"] - report.breakdown_downlink[
+        "spdt-switch"
+    ]
+    assert switch_increment == pytest.approx(14e-3, rel=1e-6)
+    print()
+    print(power_table.main())

@@ -1,0 +1,22 @@
+"""Benchmark: the calibration-knob sensitivity audit."""
+
+from repro.analysis.report import render_table
+from repro.experiments import sensitivity
+
+
+def test_bench_sensitivity_audit(benchmark):
+    rows = benchmark(sensitivity.run_sensitivity, seed=202)
+
+    def knob(name):
+        return next(r for r in rows if r["Knob"] == name)
+
+    # The audit's diagonal structure: each knob moves its own metric.
+    assert abs(knob("uplink_implementation_loss_db")["Δuplink@8m dB (high)"]) > 2.0
+    assert abs(knob("downlink_implementation_loss_db")["Δdownlink@2m dB (high)"]) > 1.5
+    assert knob("slope_error_sigma")["Δranging@5m cm (high)"] > 1.0
+    assert knob("node_detector_noise_v_per_rt_hz")["Δdownlink@2m dB (high)"] < -3.0
+    # ...and off-diagonal leakage stays small.
+    assert abs(knob("slope_error_sigma")["Δuplink@8m dB (high)"]) < 0.5
+    assert abs(knob("uplink_implementation_loss_db")["Δdownlink@2m dB (high)"]) < 0.5
+    print()
+    print(render_table(rows, title="Calibration sensitivity audit"))

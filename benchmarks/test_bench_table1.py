@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 1 (capability comparison)."""
+
+from repro.baselines.comparison import capability_table, energy_comparison
+from repro.experiments import table1_comparison
+
+
+def test_bench_table1_capabilities(benchmark):
+    rows = benchmark(capability_table)
+    # Paper Table 1, row by row.
+    expected = {
+        "mmTag [35]": ("Yes", "No", "No", "No"),
+        "Millimetro [45]": ("No", "Yes", "No", "No"),
+        "OmniScatter [12]": ("Yes", "Yes", "No", "No"),
+        "MilBack (This Work)": ("Yes", "Yes", "Yes", "Yes"),
+    }
+    for row in rows:
+        cells = (
+            row["Uplink Communication"],
+            row["Localization"],
+            row["Downlink Communication"],
+            row["Orientation Sensing"],
+        )
+        assert cells == expected[row["Systems"]]
+    print()
+    print(table1_comparison.main())
+
+
+def test_bench_energy_comparison(benchmark):
+    rows = benchmark(energy_comparison)
+    by_name = {r["Systems"]: r["Uplink energy (nJ/bit)"] for r in rows}
+    assert by_name["mmTag [35]"] == 2.4
+    assert by_name["MilBack (This Work)"] == 0.8

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""IoT sensor network: many nodes, SDM scheduling, energy accounting.
+
+Six battery-free sensors share one AP. The SDM scheduler groups nodes
+that are angularly separable into concurrent slots (paper §7); the AP
+then collects a telemetry packet from each node and the script accounts
+the per-node energy cost against the paper's §9.6 power model.
+"""
+
+import math
+
+from repro import MilBackLink, MilBackSimulator, Scene2D, SdmScheduler
+from repro.analysis.report import render_table
+from repro.channel.scene import NodePlacement
+from repro.hardware.power import NodeMode
+from repro.utils.geometry import Pose2D
+
+SENSORS = [
+    ("door", 2.0, -28.0, 8.0),
+    ("window", 3.5, -12.0, -10.0),
+    ("thermostat", 2.8, -6.0, 15.0),
+    ("shelf", 4.0, 9.0, -5.0),
+    ("desk", 3.2, 14.0, 12.0),
+    ("plant", 2.5, 30.0, -18.0),
+]
+
+
+def build_scene() -> Scene2D:
+    scene = None
+    for name, distance, azimuth, orientation in SENSORS:
+        x = distance * math.cos(math.radians(azimuth))
+        y = distance * math.sin(math.radians(azimuth))
+        heading = azimuth + 180.0 - orientation
+        placement = NodePlacement(Pose2D.at(x, y, heading), name)
+        if scene is None:
+            scene = Scene2D(nodes=(placement,))
+        else:
+            scene = scene.with_node(placement)
+    return scene
+
+
+def main() -> None:
+    scene = build_scene()
+    scheduler = SdmScheduler(scene, min_separation_deg=12.0)
+    groups = scheduler.schedule()
+    print(f"SDM schedule: {len(SENSORS)} nodes in {len(groups)} air slots "
+          f"(concurrency {scheduler.concurrency():.2f} nodes/slot)")
+    for i, group in enumerate(groups):
+        print(f"  slot {i}: {', '.join(group.node_ids)}")
+
+    rows = []
+    for slot, group in enumerate(groups):
+        for node_id in group.node_ids:
+            sim = MilBackSimulator(scene, seed=abs(hash(node_id)) % 10_000, node_id=node_id)
+            link = MilBackLink(sim)
+            payload = f"{node_id}: reading={slot * 7 + 13}".encode()
+            session = link.receive_from_node(payload, bit_rate_bps=10e6)
+            power = sim.node.power_w(NodeMode.UPLINK, uplink_bit_rate_bps=10e6)
+            energy_nj = power * session.air_time_s * 1e9
+            rows.append(
+                {
+                    "Node": node_id,
+                    "Slot": slot,
+                    "Range (m)": round(session.localization.distance_est_m, 2),
+                    "Delivered": session.delivered,
+                    "SNR (dB)": round(session.link_quality_db, 1),
+                    "Air time (us)": round(session.air_time_s * 1e6, 1),
+                    "Node energy (uJ)": round(energy_nj / 1e3, 2),
+                }
+            )
+    print()
+    print(render_table(rows, title="Telemetry collection round (10 Mbps uplink)"))
+    delivered = sum(r["Delivered"] for r in rows)
+    print(f"\n{delivered}/{len(rows)} packets delivered; a CR2032 coin cell "
+          f"(~2.4 kJ) funds ~{2.4e3 / (rows[0]['Node energy (uJ)'] * 1e-6) / 1e9:.1f} "
+          f"billion such reports per node")
+
+
+if __name__ == "__main__":
+    main()

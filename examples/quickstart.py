@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: localize a MilBack node and exchange data both ways.
+
+Sets up the paper's canonical scene — one backscatter node 3 m from the
+AP, rotated 10° off facing it, in a cluttered office — then runs the
+complete protocol: Field 1 (orientation + direction announcement),
+Field 2 (localization), and framed OAQFM payloads in both directions.
+"""
+
+from repro import MilBackLink, MilBackSimulator, Scene2D
+
+
+def main() -> None:
+    scene = Scene2D.single_node(distance_m=3.0, orientation_deg=10.0)
+    sim = MilBackSimulator(scene, seed=2023)
+    link = MilBackLink(sim)
+
+    print("=== MilBack quickstart ===")
+    print(f"ground truth: distance {scene.node_distance_m():.2f} m, "
+          f"orientation {scene.node_orientation_deg():.1f} deg\n")
+
+    fix = link.localize()
+    print(f"localization: {fix.distance_est_m:.3f} m "
+          f"(error {abs(fix.distance_error_m)*100:.1f} cm), "
+          f"azimuth {fix.angle_est_deg:+.2f} deg "
+          f"(error {abs(fix.angle_error_deg):.2f} deg)\n")
+
+    downlink = link.send_to_node(b"hello node, report your sensors", bit_rate_bps=4e6)
+    print(f"downlink: delivered={downlink.delivered} "
+          f"SINR={downlink.link_quality_db:.1f} dB "
+          f"(AP sensed orientation "
+          f"{downlink.ap_orientation.orientation_est_deg:+.1f} deg)")
+
+    uplink = link.receive_from_node(b"temp=23.4C humidity=41%", bit_rate_bps=10e6)
+    print(f"uplink:   delivered={uplink.delivered} "
+          f"SNR={uplink.link_quality_db:.1f} dB "
+          f"(node sensed its orientation "
+          f"{uplink.node_orientation.orientation_est_deg:+.1f} deg)\n")
+
+    print("protocol trace:")
+    print(link.log.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Tracked approach: Kalman-fused MilBack fixes guide a drone to a pad.
+
+A MilBack tag marks a landing pad; a drone-mounted AP localizes it at
+10 Hz while approaching along a curved path. Raw per-packet fixes are
+fused by the constant-velocity tracker, and the script compares raw
+versus tracked position error — the difference is what makes the
+last-meter approach feasible.
+
+Also demonstrates beam-scan discovery (finding the pad with no prior)
+and uplink rate adaptation as the link budget improves on approach.
+"""
+
+import math
+
+import numpy as np
+
+from repro import MilBackSimulator, Scene2D
+from repro.analysis.report import render_table
+from repro.protocol import BeamScanDiscovery, UplinkRateAdapter
+from repro.tracking import ConstantVelocityTracker
+
+
+def approach_path(n=20):
+    """Drone closes from 8 m to 1.5 m along a gentle S-curve (AP frame:
+    the pad appears to approach)."""
+    for k in range(n):
+        t = k / (n - 1)
+        distance = 8.0 - 6.5 * t
+        azimuth = 12.0 * math.sin(2.0 * math.pi * t * 0.5)
+        yield 0.1 * k, distance, azimuth
+
+
+def main() -> None:
+    # Phase 1: discovery — find the pad with no prior. The scan's range
+    # is ~6 m at the default sensitivity, so the drone sweeps, advances,
+    # and sweeps again until the pad lights up.
+    for standoff in (8.0, 6.0, 5.0):
+        scene0 = Scene2D.single_node(standoff, azimuth_deg=5.0, orientation_deg=6.0)
+        found = BeamScanDiscovery(MilBackSimulator(scene0, seed=1)).scan()
+        if found:
+            print(f"discovery at {standoff:.0f} m standoff: pad at "
+                  f"{found[0].azimuth_deg:+.0f} deg, {found[0].distance_m:.2f} m "
+                  f"(coherence {found[0].coherence:.2f})")
+            break
+        print(f"discovery at {standoff:.0f} m standoff: nothing above the "
+              "floor, advancing")
+
+    # Phase 2: tracked approach.
+    tracker = ConstantVelocityTracker(sigma_range_m=0.04, sigma_azimuth_deg=1.3,
+                                      process_accel_mps2=1.0)
+    adapter = UplinkRateAdapter(target_ber=1e-6)
+    rows = []
+    raw_errors, tracked_errors = [], []
+    for i, (t, distance, azimuth) in enumerate(approach_path()):
+        scene = Scene2D.single_node(distance, azimuth_deg=azimuth, orientation_deg=6.0)
+        sim = MilBackSimulator(scene, seed=100 + i)
+        fix = sim.simulate_localization()
+        state = tracker.update(t, fix.distance_est_m, fix.angle_est_deg)
+
+        truth = np.array(
+            [distance * math.cos(math.radians(azimuth)),
+             distance * math.sin(math.radians(azimuth))]
+        )
+        raw = np.array(
+            [fix.distance_est_m * math.cos(math.radians(fix.angle_est_deg)),
+             fix.distance_est_m * math.sin(math.radians(fix.angle_est_deg))]
+        )
+        raw_err = float(np.linalg.norm(raw - truth))
+        tracked_err = float(np.hypot(state.x_m - truth[0], state.y_m - truth[1]))
+        raw_errors.append(raw_err)
+        tracked_errors.append(tracked_err)
+
+        if i % 4 == 0:
+            snr = sim.simulate_uplink(
+                np.random.default_rng(i).integers(0, 2, 128), 10e6
+            ).snr_db
+            decision = adapter.choose_rate(snr, 10e6)
+            rows.append(
+                {
+                    "t (s)": round(t, 1),
+                    "Range (m)": round(distance, 2),
+                    "Raw err (cm)": round(raw_err * 100, 1),
+                    "Tracked err (cm)": round(tracked_err * 100, 1),
+                    "Uplink SNR (dB)": round(snr, 1),
+                    "Adapted rate (Mbps)": decision.rate_bps / 1e6,
+                }
+            )
+    print()
+    print(render_table(rows, title="Drone approach: raw vs tracked fixes + rate adaptation"))
+    # Steady-state comparison (skip the filter's convergence).
+    steady_raw = float(np.mean(raw_errors[5:]))
+    steady_tracked = float(np.mean(tracked_errors[5:]))
+    print(f"\nsteady-state mean error: raw {steady_raw*100:.1f} cm -> "
+          f"tracked {steady_tracked*100:.1f} cm "
+          f"({steady_raw/max(steady_tracked,1e-9):.1f}x improvement)")
+
+
+if __name__ == "__main__":
+    main()

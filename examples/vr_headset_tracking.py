@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""VR headset tracking: the paper's motivating AR/VR scenario (§1).
+
+A headset-mounted MilBack node moves along an arc in front of the AP
+while turning. At every waypoint the AP localizes the headset, senses
+its orientation (the user's facing direction), and streams a downlink
+update — all on the node's 18 mW budget. The script prints per-waypoint
+tracking error and the achieved link quality.
+"""
+
+import math
+
+import numpy as np
+
+from repro import MilBackSimulator, Scene2D
+from repro.analysis.report import render_table
+
+
+def waypoints(n: int = 9):
+    """An arc from -25 deg to +25 deg at 2-4 m, with the user slowly
+    turning their head from -15 to +15 deg off the AP."""
+    for i in range(n):
+        frac = i / (n - 1)
+        azimuth = -25.0 + 50.0 * frac
+        distance = 2.0 + 2.0 * math.sin(math.pi * frac)
+        orientation = -15.0 + 30.0 * frac
+        yield distance, azimuth, orientation
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    rows = []
+    for i, (distance, azimuth, orientation) in enumerate(waypoints()):
+        scene = Scene2D.single_node(
+            distance, azimuth_deg=azimuth, orientation_deg=orientation
+        )
+        sim = MilBackSimulator(scene, seed=1000 + i)
+
+        fix = sim.simulate_localization()
+        pose = sim.simulate_ap_orientation()
+        frame = sim.simulate_downlink(rng.integers(0, 2, 256), bit_rate_bps=8e6)
+
+        rows.append(
+            {
+                "Waypoint": i,
+                "Range err (cm)": round(abs(fix.distance_error_m) * 100, 2),
+                "Azimuth err (deg)": round(abs(fix.angle_error_deg), 2),
+                "Head-pose err (deg)": round(abs(pose.error_deg), 2),
+                "Downlink SINR (dB)": round(frame.sinr_db, 1),
+                "Frame BER": frame.ber,
+            }
+        )
+    print(render_table(rows, title="VR headset tracking along an arc (8 Mbps downlink)"))
+
+    range_errs = [r["Range err (cm)"] for r in rows]
+    pose_errs = [r["Head-pose err (deg)"] for r in rows]
+    print(f"\nmean range error: {np.mean(range_errs):.2f} cm; "
+          f"mean head-pose error: {np.mean(pose_errs):.2f} deg; "
+          f"all frames decoded: {all(r['Frame BER'] == 0 for r in rows)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Walking VR user: mobility, body blockage, and reliable delivery.
+
+A user wearing a MilBack headset walks a loop through a cluttered room
+while two bystanders cross the line of sight (25 dB body shadows — the
+defining mmWave impairment). The session simulator produces the SNR /
+outage time series, and the ARQ layer shows how retries convert physical
+outages into delivered packets.
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.channel.mobility import BlockageModel, Waypoint, WaypointTrajectory
+from repro.protocol import MilBackLink, ReliableChannel
+from repro.sim.engine import MilBackSimulator
+from repro.sim.mobility import MobileSessionSimulator
+from repro.channel.scene import Scene2D
+from repro.utils.geometry import Pose2D
+
+
+def walking_loop() -> WaypointTrajectory:
+    """A 10-second walk: approach, cross the room, retreat."""
+    waypoints = []
+    for k, (t, x, y) in enumerate(
+        [
+            (0.0, 4.5, -2.0),
+            (2.5, 3.0, -0.5),
+            (5.0, 2.0, 0.8),
+            (7.5, 3.5, 1.8),
+            (10.0, 5.5, 1.0),
+        ]
+    ):
+        heading = math.degrees(math.atan2(-y, -x))  # roughly facing the AP
+        waypoints.append(Waypoint(t, Pose2D.at(x, y, heading)))
+    return WaypointTrajectory(waypoints)
+
+
+def main() -> None:
+    trajectory = walking_loop()
+    blockage = BlockageModel.pedestrian_crossings([2.2, 6.8], duration_s=0.5)
+    session = MobileSessionSimulator(trajectory, blockage=blockage, seed=11)
+    result = session.run(step_s=0.25, bit_rate_bps=10e6)
+
+    rows = []
+    for step in result.steps[::4]:
+        rows.append(
+            {
+                "t (s)": round(step.time_s, 2),
+                "Range (m)": round(step.distance_true_m, 2),
+                "Fix (m)": round(step.distance_est_m, 2) if step.distance_est_m else "lost",
+                "SNR (dB)": round(step.uplink_snr_db, 1) if step.uplink_snr_db else "-",
+                "Body shadow (dB)": step.blockage_loss_db,
+                "Outage": step.in_outage,
+            }
+        )
+    print(render_table(rows, title="Walking VR user (10 Mbps uplink, 2 bystander crossings)"))
+    print(f"\noutage fraction: {result.outage_fraction()*100:.0f}% of steps "
+          f"(blockage fraction on the air: "
+          f"{blockage.blocked_fraction(0.0, 10.0)*100:.0f}%); "
+          f"mean SNR when clear: {result.mean_snr_db():.1f} dB")
+
+    # ARQ over a static pose near the path's midpoint: retries ride
+    # through short shadows.
+    scene = Scene2D.single_node(2.3, orientation_deg=8.0)
+    channel = ReliableChannel(MilBackLink(MilBackSimulator(scene, seed=12)))
+    delivered = 0
+    for i in range(8):
+        outcome = channel.send_reliable(f"pose-update-{i}".encode())
+        delivered += outcome.delivered
+    print(f"\nARQ: {delivered}/8 pose updates delivered, "
+          f"mean {channel.stats.mean_attempts():.2f} attempts/transfer, "
+          f"total air time {channel.stats.air_time_s*1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Warehouse inventory: joint localization + identification at range.
+
+MilBack tags on pallets across a 1–8 m aisle. For each tag the AP (a)
+localizes it via FMCW with background subtraction — the aisle's metal
+shelving is strong clutter — (b) senses its orientation to pick the
+OAQFM tone pair, and (c) reads a framed inventory record uplink. This is
+the workload where MilBack's combination (localize + two-way data)
+beats the single-capability baselines: mmTag could read but not place,
+Millimetro could place but not read.
+"""
+
+import numpy as np
+
+from repro import MilBackLink, MilBackSimulator, Scene2D
+from repro.analysis.report import render_table
+from repro.baselines import MillimetroSystem, MmTagSystem
+
+PALLETS = [
+    ("PAL-0041", 1.5, 6.0),
+    ("PAL-1138", 3.0, -12.0),
+    ("PAL-2077", 4.5, 18.0),
+    ("PAL-3001", 6.0, -7.0),
+    ("PAL-4913", 8.0, 11.0),
+]
+
+
+def main() -> None:
+    rows = []
+    for i, (tag_id, distance, orientation) in enumerate(PALLETS):
+        scene = Scene2D.single_node(distance, orientation_deg=orientation)
+        link = MilBackLink(MilBackSimulator(scene, seed=4200 + i))
+        record = f"{tag_id}|qty=64|dock=D{i}".encode()
+        session = link.receive_from_node(record, bit_rate_bps=10e6)
+        rows.append(
+            {
+                "Tag": tag_id,
+                "True range (m)": distance,
+                "Measured (m)": round(session.localization.distance_est_m, 3),
+                "Orientation err (deg)": round(abs(session.ap_orientation.error_deg), 2),
+                "Record read": session.delivered,
+                "SNR (dB)": round(session.link_quality_db, 1),
+            }
+        )
+    print(render_table(rows, title="Warehouse aisle scan (MilBack)"))
+
+    # What the baselines could have done in the same aisle.
+    mmtag = MmTagSystem()
+    millimetro = MillimetroSystem()
+    print("\nbaseline contrast at 8 m:")
+    print(f"  mmTag:      uplink SNR {mmtag.uplink_snr_db(8.0):.1f} dB, "
+          "but no localization -> cannot place the pallet")
+    print(f"  Millimetro: ranging SNR {millimetro.ranging_snr_db(8.0):.1f} dB, "
+          "but no data uplink -> cannot read the record")
+    read = sum(r["Record read"] for r in rows)
+    worst = max(abs(r["Measured (m)"] - r["True range (m)"]) for r in rows)
+    print(f"\nMilBack read {read}/{len(rows)} records with worst placement "
+          f"error {worst*100:.1f} cm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""MilBack: a millimeter wave backscatter network for two-way
+communication and localization.
+
+Reproduction of Lu, Mazaheri, Rezvani & Abari (ACM SIGCOMM 2023). The
+package simulates the complete system — dual-port frequency-scanning
+antenna, backscatter node, FMCW access point, OAQFM modulation, and the
+joint communication/localization protocol — at physics level.
+
+Quickstart::
+
+    from repro import Scene2D, MilBackSimulator, MilBackLink
+
+    scene = Scene2D.single_node(distance_m=3.0, orientation_deg=10.0)
+    link = MilBackLink(MilBackSimulator(scene, seed=1))
+    fix = link.localize()
+    reply = link.receive_from_node(b"hello from the tag")
+"""
+
+from repro.channel.scene import Scene2D, NodePlacement
+from repro.channel.multipath import Reflector
+from repro.sim.engine import (
+    MilBackSimulator,
+    LocalizationResult,
+    ApOrientationResult,
+    NodeOrientationResult,
+    DownlinkResult,
+    UplinkResult,
+)
+from repro.sim.calibration import Calibration, default_calibration
+from repro.node.node import BackscatterNode
+from repro.node.config import NodeConfig
+from repro.ap.access_point import AccessPoint
+from repro.ap.config import ApConfig
+from repro.antennas.fsa import FsaDesign, FsaPort, FrequencyScanningAntenna
+from repro.antennas.dual_port_fsa import DualPortFsa, TonePair
+from repro.protocol.link import MilBackLink, SessionResult
+from repro.protocol.packet import Packet, PacketSchedule
+from repro.protocol.mac import SdmScheduler
+from repro.protocol.adaptation import UplinkRateAdapter
+from repro.protocol.discovery import BeamScanDiscovery, Detection
+from repro.phy.dense_oaqfm import DenseOaqfmScheme
+from repro.tracking.kalman import ConstantVelocityTracker
+from repro.errors import MilBackError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Scene2D",
+    "NodePlacement",
+    "Reflector",
+    "MilBackSimulator",
+    "LocalizationResult",
+    "ApOrientationResult",
+    "NodeOrientationResult",
+    "DownlinkResult",
+    "UplinkResult",
+    "Calibration",
+    "default_calibration",
+    "BackscatterNode",
+    "NodeConfig",
+    "AccessPoint",
+    "ApConfig",
+    "FsaDesign",
+    "FsaPort",
+    "FrequencyScanningAntenna",
+    "DualPortFsa",
+    "TonePair",
+    "MilBackLink",
+    "SessionResult",
+    "Packet",
+    "PacketSchedule",
+    "SdmScheduler",
+    "UplinkRateAdapter",
+    "BeamScanDiscovery",
+    "Detection",
+    "DenseOaqfmScheme",
+    "ConstantVelocityTracker",
+    "MilBackError",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Result analysis: sweep running, statistics, table rendering."""
+
+from repro.analysis.report import render_table, format_value
+from repro.analysis.plots import ascii_plot
+from repro.analysis.metrics import papr_db, occupied_bandwidth_hz, evm_percent, tone_snr_db
+from repro.analysis.sweeps import SweepPoint, run_sweep, run_error_sweep
+
+__all__ = [
+    "render_table",
+    "format_value",
+    "ascii_plot",
+    "papr_db",
+    "occupied_bandwidth_hz",
+    "evm_percent",
+    "tone_snr_db",
+    "SweepPoint",
+    "run_sweep",
+    "run_error_sweep",
+]

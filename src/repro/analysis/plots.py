@@ -1,0 +1,75 @@
+"""Terminal plotting: ASCII line charts for experiment output.
+
+The benchmark harness prints tables; a curve is easier to eyeball. No
+plotting dependency — just a character grid, good enough to see slopes,
+caps and crossovers in `python -m repro run fig15`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_plot"]
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more named series on a shared character grid.
+
+    Each series gets a marker from ``*+ox#`` in order; axes are labeled
+    with their data ranges.
+    """
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    x = np.asarray(x, dtype=float)
+    if x.size < 2:
+        raise ConfigurationError("need at least two x points")
+    markers = "*+ox#%"
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    y_min, y_max = float(np.nanmin(all_y)), float(np.nanmax(all_y))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), marker in zip(series.items(), markers):
+        values = np.asarray(values, dtype=float)
+        if values.size != x.size:
+            raise ConfigurationError(f"series {name!r} length mismatch")
+        for xi, yi in zip(x, values):
+            if not np.isfinite(yi):
+                continue
+            col = int(round((xi - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yi - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_max:.4g} "
+        elif i == height - 1:
+            label = f"{y_min:.4g} "
+        else:
+            label = ""
+        lines.append(label.rjust(10) + "|" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 11 + f"{x_min:.4g}".ljust(width - 8) + f"{x_max:.4g}"
+    )
+    if x_label or y_label:
+        lines.append(" " * 11 + f"x: {x_label}   y: {y_label}")
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+Every experiment prints its paper-figure data through this renderer so
+`pytest benchmarks/ --benchmark-only` output reads like the paper's
+tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Uniform cell formatting: floats to 4 significant digits."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Columns come from the first row's key order; later rows may omit
+    keys (rendered blank) but must not add new ones.
+    """
+    if not rows:
+        raise ValueError("no rows to render")
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        unknown = set(row) - set(columns)
+        if unknown:
+            raise ValueError(f"row introduces unknown columns: {sorted(unknown)}")
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in cells
+    ]
+    out = [header, rule, *body]
+    if title:
+        out = [title, "=" * len(title), *out]
+    return "\n".join(out)

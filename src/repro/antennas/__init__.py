@@ -1,0 +1,24 @@
+"""Antenna models: horns, phased arrays, Van Atta, and the dual-port FSA."""
+
+from repro.antennas.base import Antenna, gain_amplitude
+from repro.antennas.fixed import IsotropicAntenna, HornAntenna
+from repro.antennas.fsa import FsaDesign, FsaPort, FrequencyScanningAntenna
+from repro.antennas.dual_port_fsa import DualPortFsa, TonePair
+from repro.antennas.van_atta import VanAttaArray
+from repro.antennas.array import UniformLinearArray, aoa_phase_rad, aoa_from_phase_deg
+
+__all__ = [
+    "Antenna",
+    "gain_amplitude",
+    "IsotropicAntenna",
+    "HornAntenna",
+    "FsaDesign",
+    "FsaPort",
+    "FrequencyScanningAntenna",
+    "DualPortFsa",
+    "TonePair",
+    "VanAttaArray",
+    "UniformLinearArray",
+    "aoa_phase_rad",
+    "aoa_from_phase_deg",
+]

@@ -1,0 +1,88 @@
+"""Uniform linear phased array — the AP-side electronic-steering option.
+
+The paper's prototype steers the AP horns mechanically but notes a phased
+array is the practical deployment (§8). The AP also uses *two* receive
+antennas for AoA; this model provides both the steerable pattern and the
+inter-element phase that the AoA estimator consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+
+__all__ = ["UniformLinearArray", "aoa_phase_rad", "aoa_from_phase_deg"]
+
+
+@dataclass
+class UniformLinearArray:
+    """N-element uniform linear array with phase-shifter steering."""
+
+    n_elements: int = 8
+    element_spacing_m: float = 5.35e-3  # λ/2 at 28 GHz
+    element_gain_dbi: float = 5.0
+    steer_angle_deg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_elements < 1:
+            raise ConfigurationError("array needs at least one element")
+        if self.element_spacing_m <= 0:
+            raise ConfigurationError("element spacing must be positive")
+
+    def steered_to(self, angle_deg: float) -> "UniformLinearArray":
+        """A copy steered to ``angle_deg``."""
+        return UniformLinearArray(
+            self.n_elements,
+            self.element_spacing_m,
+            self.element_gain_dbi,
+            angle_deg,
+        )
+
+    def peak_gain_dbi(self) -> float:
+        """Broadside peak gain: element gain + 10 log10 N."""
+        return self.element_gain_dbi + 10.0 * math.log10(self.n_elements)
+
+    def gain_dbi(self, angle_deg, frequency_hz):
+        """Steered array-factor gain toward ``angle_deg``."""
+        angle = np.asarray(angle_deg, dtype=float)
+        freq = np.asarray(frequency_hz, dtype=float)
+        angle_b, freq_b = np.broadcast_arrays(angle, freq)
+        k = 2.0 * np.pi * freq_b / SPEED_OF_LIGHT
+        d = self.element_spacing_m
+        phase = k * d * (
+            np.sin(np.radians(angle_b)) - math.sin(math.radians(self.steer_angle_deg))
+        )
+        n = np.arange(self.n_elements)
+        af = np.abs(np.exp(1j * np.multiply.outer(phase, n)).sum(axis=-1)) / self.n_elements
+        element_factor = np.maximum(np.cos(np.radians(angle_b)), 1e-3)
+        gain_linear = 10.0 ** (self.peak_gain_dbi() / 10.0) * af**2 * element_factor
+        gain_db = 10.0 * np.log10(np.maximum(gain_linear, 1e-12))
+        return gain_db if gain_db.ndim else float(gain_db)
+
+
+def aoa_phase_rad(angle_deg: float, baseline_m: float, frequency_hz: float) -> float:
+    """Phase difference between two antennas separated by ``baseline_m``
+    for a plane wave from ``angle_deg``: Δφ = 2π d sin θ / λ."""
+    lam = SPEED_OF_LIGHT / frequency_hz
+    return 2.0 * math.pi * baseline_m * math.sin(math.radians(angle_deg)) / lam
+
+
+def aoa_from_phase_deg(phase_rad: float, baseline_m: float, frequency_hz: float) -> float:
+    """Invert :func:`aoa_phase_rad`; the phase is wrapped to (−π, π] first.
+
+    Unambiguous for baselines up to λ/2.
+    """
+    lam = SPEED_OF_LIGHT / frequency_hz
+    wrapped = math.remainder(phase_rad, 2.0 * math.pi)
+    sin_theta = wrapped * lam / (2.0 * math.pi * baseline_m)
+    if abs(sin_theta) > 1.0:
+        raise ConfigurationError(
+            f"phase {phase_rad:.3f} rad implies |sin| = {abs(sin_theta):.3f} > 1 "
+            f"for baseline {baseline_m*1e3:.2f} mm"
+        )
+    return math.degrees(math.asin(sin_theta))

@@ -1,0 +1,32 @@
+"""Antenna abstractions.
+
+All antenna models expose power gain as a function of the angle off
+boresight and the signal frequency. Angles are in degrees, gains in dBi.
+Frequency dependence matters only for the FSA; fixed-beam antennas ignore
+it but accept it so every model is interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Antenna", "gain_amplitude"]
+
+
+@runtime_checkable
+class Antenna(Protocol):
+    """Minimal interface every antenna model implements."""
+
+    def gain_dbi(self, angle_deg, frequency_hz):
+        """Power gain [dBi] toward ``angle_deg`` off boresight at
+        ``frequency_hz``. Accepts scalars or numpy arrays in either
+        argument (broadcast together)."""
+        ...
+
+
+def gain_amplitude(antenna: Antenna, angle_deg, frequency_hz) -> np.ndarray:
+    """Field (amplitude) gain: sqrt of the linear power gain."""
+    g_db = np.asarray(antenna.gain_dbi(angle_deg, frequency_hz), dtype=float)
+    return np.power(10.0, g_db / 20.0)

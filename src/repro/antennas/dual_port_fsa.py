@@ -1,0 +1,108 @@
+"""Dual-port FSA: MilBack's key passive structure (paper §4, Fig. 3).
+
+Adding a second feed port at the mirrored end of the (symmetric) FSA
+creates a second set of beams whose frequency→angle map is the mirror of
+the first. For any direction θ there is then a *pair* of frequencies
+(f_A, f_B) — one per port — whose beams both point at θ. That pair is
+what OAQFM modulates, and its asymmetry is what encodes orientation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.antennas.fsa import FrequencyScanningAntenna, FsaDesign, FsaPort
+from repro.constants import BAND_START_HZ, BAND_STOP_HZ
+from repro.errors import ConfigurationError
+
+__all__ = ["DualPortFsa", "TonePair"]
+
+
+@dataclass(frozen=True)
+class TonePair:
+    """The OAQFM carrier pair for one node orientation."""
+
+    freq_a_hz: float
+    freq_b_hz: float
+
+    @property
+    def degenerate(self) -> bool:
+        """True at (near-)normal incidence where f_A == f_B and the system
+        must fall back to single-tone OOK (paper §6.2)."""
+        return abs(self.freq_a_hz - self.freq_b_hz) < 1e6
+
+    @property
+    def separation_hz(self) -> float:
+        """|f_A − f_B|."""
+        return abs(self.freq_a_hz - self.freq_b_hz)
+
+
+class DualPortFsa:
+    """Two :class:`FrequencyScanningAntenna` ports sharing one aperture."""
+
+    def __init__(
+        self,
+        design: FsaDesign | None = None,
+        band_hz: tuple[float, float] = (BAND_START_HZ, BAND_STOP_HZ),
+    ) -> None:
+        self.design = design or FsaDesign()
+        self.band_hz = band_hz
+        if band_hz[0] >= band_hz[1]:
+            raise ConfigurationError("band must be (low, high)")
+        self.port_a = FrequencyScanningAntenna(self.design, FsaPort.A)
+        self.port_b = FrequencyScanningAntenna(self.design, FsaPort.B)
+
+    def ports(self) -> tuple[FrequencyScanningAntenna, FrequencyScanningAntenna]:
+        """(port A, port B)."""
+        return (self.port_a, self.port_b)
+
+    def alignment_pair(self, orientation_deg: float) -> TonePair:
+        """The (f_A, f_B) pair whose beams both face an AP located at
+        ``orientation_deg`` off the node's broadside.
+
+        By mirror symmetry f_B(θ) = f_A(−θ); at θ = 0 the pair is
+        degenerate.
+        """
+        fa = float(self.port_a.alignment_frequency_hz(orientation_deg))
+        fb = float(self.port_b.alignment_frequency_hz(orientation_deg))
+        lo, hi = self.band_hz
+        if not (lo <= fa <= hi and lo <= fb <= hi):
+            raise ConfigurationError(
+                f"orientation {orientation_deg:.1f} deg needs tones "
+                f"({fa/1e9:.2f}, {fb/1e9:.2f}) GHz outside the band "
+                f"[{lo/1e9:.2f}, {hi/1e9:.2f}] GHz"
+            )
+        return TonePair(fa, fb)
+
+    def orientation_from_alignment(self, frequency_hz: float, port: str = FsaPort.A) -> float:
+        """Invert :meth:`alignment_pair` for one port: the orientation at
+        which ``frequency_hz`` is that port's aligned tone."""
+        antenna = self.port_a if port == FsaPort.A else self.port_b
+        return float(antenna.beam_angle_deg(frequency_hz))
+
+    def scan_coverage_deg(self) -> float:
+        """Total azimuth each port covers across the configured band."""
+        lo = float(self.port_a.beam_angle_deg(self.band_hz[0]))
+        hi = float(self.port_a.beam_angle_deg(self.band_hz[1]))
+        return abs(hi - lo)
+
+    def gain_dbi(self, port: str, angle_deg, frequency_hz):
+        """Gain of the selected port (convenience dispatch)."""
+        if port == FsaPort.A:
+            return self.port_a.gain_dbi(angle_deg, frequency_hz)
+        if port == FsaPort.B:
+            return self.port_b.gain_dbi(angle_deg, frequency_hz)
+        raise ConfigurationError(f"unknown FSA port {port!r}")
+
+    def port_isolation_db(self, orientation_deg: float) -> float:
+        """How much weaker the *other* port's tone is at each port, for a
+        node at ``orientation_deg`` (drives the downlink SINR, §9.4).
+
+        Port A receives its aligned tone f_A at full beam gain; tone f_B
+        arrives through port A's pattern sidelobes at angle θ. The ratio
+        is the inter-tone interference suppression.
+        """
+        pair = self.alignment_pair(orientation_deg)
+        wanted = float(self.port_a.gain_dbi(orientation_deg, pair.freq_a_hz))
+        leaked = float(self.port_a.gain_dbi(orientation_deg, pair.freq_b_hz))
+        return wanted - leaked

@@ -1,0 +1,66 @@
+"""Fixed-beam antennas: isotropic reference and the AP's horns.
+
+The AP uses Mi-Wave 261(34)-20/595 horns with 20 dB gain (paper §8),
+mechanically steered. A Gaussian main-lobe model with a constant sidelobe
+floor is the standard behavioural stand-in for a horn pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["IsotropicAntenna", "HornAntenna"]
+
+
+@dataclass(frozen=True)
+class IsotropicAntenna:
+    """0 dBi in every direction; the unit-gain reference."""
+
+    gain_dbi_value: float = 0.0
+
+    def gain_dbi(self, angle_deg, frequency_hz):
+        """Constant gain regardless of direction and frequency."""
+        angle = np.asarray(angle_deg, dtype=float)
+        return np.broadcast_to(np.float64(self.gain_dbi_value), angle.shape).copy() \
+            if angle.ndim else float(self.gain_dbi_value)
+
+
+@dataclass(frozen=True)
+class HornAntenna:
+    """Gaussian-beam horn with peak gain and -3 dB beamwidth.
+
+    The default beamwidth follows the usual gain-beamwidth product for a
+    pyramidal horn: BW ≈ sqrt(41000 / G_linear) degrees for a symmetric
+    beam, ≈ 18° at 20 dBi.
+    """
+
+    peak_gain_dbi: float = 20.0
+    beamwidth_deg: float | None = None
+    sidelobe_floor_dbi: float = -10.0
+
+    def __post_init__(self) -> None:
+        if self.beamwidth_deg is not None and self.beamwidth_deg <= 0:
+            raise ConfigurationError("beamwidth must be positive")
+
+    @property
+    def effective_beamwidth_deg(self) -> float:
+        """-3 dB full beamwidth [deg], derived from gain when not given."""
+        if self.beamwidth_deg is not None:
+            return self.beamwidth_deg
+        g_linear = 10.0 ** (self.peak_gain_dbi / 10.0)
+        return math.sqrt(41_000.0 / g_linear)
+
+    def gain_dbi(self, angle_deg, frequency_hz):
+        """Gaussian roll-off from the peak, floored at the sidelobe level."""
+        angle = np.asarray(angle_deg, dtype=float)
+        bw = self.effective_beamwidth_deg
+        # Gaussian with -3 dB at angle = bw/2: G(θ) = Gp - 12 (θ/bw)^2 dB.
+        rolloff_db = 12.0 * (angle / bw) ** 2
+        gain = self.peak_gain_dbi - rolloff_db
+        result = np.maximum(gain, self.sidelobe_floor_dbi)
+        return result if result.ndim else float(result)

@@ -1,0 +1,75 @@
+"""Van Atta retroreflector array — the baseline tags' antenna (paper §4).
+
+A Van Atta array pairs antennas through equal-length traces so any
+incident wavefront is re-radiated back toward its arrival direction. It
+needs no power and no steering, but it has **no signal port**: you cannot
+tap the received signal for a local receiver, which is exactly why the
+paper rejects it for downlink-capable nodes. We implement it for the
+mmTag/Millimetro baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+
+__all__ = ["VanAttaArray"]
+
+
+@dataclass(frozen=True)
+class VanAttaArray:
+    """Behavioural Van Atta retroreflector.
+
+    Attributes:
+        n_elements: number of antenna elements (pairs count as two).
+        element_spacing_m: inter-element spacing.
+        element_gain_dbi: per-element gain.
+        trace_loss_db: total loss in the interconnecting traces.
+        field_of_view_deg: incidence range over which retro-reflection
+            holds (falls off outside as the element pattern dies).
+    """
+
+    n_elements: int = 16
+    element_spacing_m: float = 5.35e-3  # λ/2 at 28 GHz
+    element_gain_dbi: float = 5.0
+    trace_loss_db: float = 2.0
+    field_of_view_deg: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.n_elements < 2 or self.n_elements % 2:
+            raise ConfigurationError("Van Atta needs an even element count >= 2")
+        if self.element_spacing_m <= 0:
+            raise ConfigurationError("element spacing must be positive")
+
+    def retro_gain_dbi(self, incidence_deg, frequency_hz):
+        """Round-trip (monostatic) gain of the retro-reflected beam.
+
+        Retro-direction combining is coherent across all N elements, so
+        the two-way gain is 2·(G_elem + 10 log10 N) − trace loss, rolled
+        off by the element pattern at wide incidence. This is the quantity
+        that enters the backscatter link budget *once* (it already counts
+        both receive and re-transmit apertures).
+        """
+        angle = np.asarray(incidence_deg, dtype=float)
+        array_gain_db = self.element_gain_dbi + 10.0 * math.log10(self.n_elements)
+        # cos^2 element roll-off per pass, two passes.
+        cos_term = np.maximum(np.cos(np.radians(angle)), 1e-3)
+        rolloff_db = -20.0 * np.log10(cos_term)
+        gain = 2.0 * array_gain_db - self.trace_loss_db - 2.0 * rolloff_db
+        outside = np.abs(angle) > self.field_of_view_deg / 2.0
+        gain = np.where(outside, -30.0, gain)
+        return gain if gain.ndim else float(gain)
+
+    def aperture_m(self) -> float:
+        """Physical aperture length [m]."""
+        return self.n_elements * self.element_spacing_m
+
+    def beamwidth_deg(self, frequency_hz: float) -> float:
+        """Width of the retro-reflected beam (diffraction limit)."""
+        lam = SPEED_OF_LIGHT / frequency_hz
+        return math.degrees(0.886 * lam / self.aperture_m())

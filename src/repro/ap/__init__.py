@@ -1,0 +1,30 @@
+"""MilBack access point: FMCW, AoA, orientation, uplink RX, downlink TX."""
+
+from repro.ap.config import ApConfig
+from repro.ap.fmcw import FmcwProcessor, RangeEstimate
+from repro.ap.aoa import AoaEstimator, AoaEstimate
+from repro.ap.orientation import ApOrientationEstimator, ApOrientationEstimate
+from repro.ap.uplink_rx import UplinkReceiver, UplinkDecodeResult
+from repro.ap.downlink_tx import DownlinkTransmitter, DownlinkBurst
+from repro.ap.doppler import DopplerEstimator, VelocityEstimate
+from repro.ap.music import ArrayAoaEstimator, ArrayAoaEstimate
+from repro.ap.access_point import AccessPoint
+
+__all__ = [
+    "ApConfig",
+    "FmcwProcessor",
+    "RangeEstimate",
+    "AoaEstimator",
+    "AoaEstimate",
+    "ApOrientationEstimator",
+    "ApOrientationEstimate",
+    "UplinkReceiver",
+    "UplinkDecodeResult",
+    "DownlinkTransmitter",
+    "DownlinkBurst",
+    "AccessPoint",
+    "DopplerEstimator",
+    "VelocityEstimate",
+    "ArrayAoaEstimator",
+    "ArrayAoaEstimate",
+]

@@ -1,0 +1,58 @@
+"""The MilBack access point facade (paper Fig. 7 + §8)."""
+
+from __future__ import annotations
+
+from repro.antennas.dual_port_fsa import DualPortFsa, TonePair
+from repro.antennas.fsa import FsaPort
+from repro.ap.aoa import AoaEstimator
+from repro.ap.config import ApConfig
+from repro.ap.downlink_tx import DownlinkTransmitter
+from repro.ap.fmcw import FmcwProcessor
+from repro.ap.orientation import ApOrientationEstimator
+from repro.ap.uplink_rx import UplinkReceiver
+from repro.utils.units import dbm_to_watts
+
+__all__ = ["AccessPoint"]
+
+
+class AccessPoint:
+    """Bundles the AP's processing blocks with its configuration.
+
+    The AP must know the node's FSA *dispersion law* to map reflection
+    peaks to orientations and to pick OAQFM tone frequencies — in a real
+    deployment this is a per-product constant, exactly like an RFID tag's
+    air protocol.
+    """
+
+    def __init__(
+        self,
+        config: ApConfig | None = None,
+        node_fsa: DualPortFsa | None = None,
+    ) -> None:
+        self.config = config or ApConfig()
+        self.node_fsa = node_fsa or DualPortFsa()
+        self.fmcw = FmcwProcessor(self.config.ranging_chirp)
+        self.aoa = AoaEstimator(
+            self.config.rx_baseline_m,
+            self.config.ranging_chirp.center_hz,
+            self.fmcw,
+        )
+        self.orientation = ApOrientationEstimator(
+            self.node_fsa.port_a, self.fmcw
+        )
+        self.uplink_rx = UplinkReceiver()
+        self.downlink_tx = DownlinkTransmitter(
+            tx_power_w=float(dbm_to_watts(self.config.tx_power_dbm)),
+            sample_rate_hz=self.config.generator.sample_rate_hz,
+        )
+
+    def tone_pair_for_orientation(self, orientation_deg: float) -> TonePair:
+        """Select the OAQFM carriers that align the node's beams at the
+        AP, from the sensed orientation (paper §6.1)."""
+        return self.node_fsa.alignment_pair(orientation_deg)
+
+    def orientation_from_peak_frequency(
+        self, frequency_hz: float, toggled_port: str = FsaPort.A
+    ) -> float:
+        """Map a reflection-peak frequency back to node orientation."""
+        return self.node_fsa.orientation_from_alignment(frequency_hz, toggled_port)

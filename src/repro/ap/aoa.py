@@ -1,0 +1,65 @@
+"""Angle-of-arrival estimation from the AP's two receive antennas (§9.2).
+
+After background subtraction isolates the node's beat tone, the tone's
+complex value at the two RX chains differs only by the inter-antenna
+phase 2π·d·sinθ/λ. Comparing those phases gives the node's direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.antennas.array import aoa_from_phase_deg
+from repro.ap.fmcw import FmcwProcessor
+from repro.dsp.signal import Signal
+from repro.errors import LocalizationError
+
+__all__ = ["AoaEstimate", "AoaEstimator"]
+
+
+@dataclass(frozen=True)
+class AoaEstimate:
+    """Direction estimate with its raw phase observable."""
+
+    angle_deg: float
+    phase_rad: float
+
+
+class AoaEstimator:
+    """Two-antenna phase-comparison AoA."""
+
+    def __init__(
+        self,
+        baseline_m: float,
+        frequency_hz: float,
+        processor: FmcwProcessor | None = None,
+    ) -> None:
+        if baseline_m <= 0:
+            raise LocalizationError("baseline must be positive")
+        self.baseline_m = baseline_m
+        self.frequency_hz = frequency_hz
+        self.processor = processor or FmcwProcessor()
+
+    def estimate(
+        self,
+        beat_records_rx1: list[Signal],
+        beat_records_rx2: list[Signal],
+        beat_frequency_hz: float,
+    ) -> AoaEstimate:
+        """AoA from the node's complex beat value on each RX chain.
+
+        ``beat_frequency_hz`` is the node's beat (from ranging); the
+        complex spectra are compared at that bin. Pair-differencing is
+        applied on each chain first so clutter does not bias the phase.
+        """
+        spec1 = self.processor.subtracted_pair_complex(beat_records_rx1)
+        spec2 = self.processor.subtracted_pair_complex(beat_records_rx2)
+        v1 = spec1.value_at(beat_frequency_hz)
+        v2 = spec2.value_at(beat_frequency_hz)
+        if abs(v1) == 0 or abs(v2) == 0:
+            raise LocalizationError("node component missing on one RX chain")
+        phase = float(np.angle(v2 * np.conj(v1)))
+        angle = aoa_from_phase_deg(phase, self.baseline_m, self.frequency_hz)
+        return AoaEstimate(angle_deg=angle, phase_rad=phase)

@@ -1,0 +1,68 @@
+"""AP configuration (paper §8 bill of materials)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.antennas.fixed import HornAntenna
+from repro.constants import (
+    AP_HORN_GAIN_DBI,
+    AP_TX_POWER_DBM,
+    BAND_CENTER_HZ,
+    FIELD2_NUM_CHIRPS,
+    SPEED_OF_LIGHT,
+)
+from repro.dsp.waveforms import SawtoothChirp, TriangularChirp
+from repro.errors import ConfigurationError
+from repro.hardware.amplifier import Amplifier, default_lna, default_pa
+from repro.hardware.mixer_rf import RfMixer
+from repro.hardware.waveform_generator import WaveformGenerator
+
+__all__ = ["ApConfig"]
+
+
+@dataclass
+class ApConfig:
+    """Everything needed to instantiate a MilBack access point.
+
+    The two RX horns sit ``rx_baseline_m`` apart — λ/2 at band center by
+    default, which keeps the AoA phase unambiguous over ±90°.
+    """
+
+    tx_power_dbm: float = AP_TX_POWER_DBM
+    tx_horn: HornAntenna = field(default_factory=lambda: HornAntenna(AP_HORN_GAIN_DBI))
+    rx_horn: HornAntenna = field(default_factory=lambda: HornAntenna(AP_HORN_GAIN_DBI))
+    pa: Amplifier = field(default_factory=default_pa)
+    lna: Amplifier = field(default_factory=default_lna)
+    mixer: RfMixer = field(default_factory=RfMixer)
+    generator: WaveformGenerator = field(default_factory=WaveformGenerator)
+    ranging_chirp: SawtoothChirp = field(default_factory=SawtoothChirp)
+    field1_chirp: TriangularChirp = field(default_factory=TriangularChirp)
+    n_ranging_chirps: int = FIELD2_NUM_CHIRPS
+    rx_baseline_m: float = 0.5 * SPEED_OF_LIGHT / BAND_CENTER_HZ
+    #: Chirp repetition interval: 18 µs sweep + idle until the next ramp.
+    #: 50 µs makes the node's 10 kHz toggle flip state exactly once per
+    #: chirp, which is what the 5-chirp background subtraction assumes.
+    chirp_repetition_interval_s: float = 50e-6
+    beat_sample_rate_hz: float = 40e6
+
+    def __post_init__(self) -> None:
+        if self.rx_baseline_m <= 0:
+            raise ConfigurationError("rx baseline must be positive")
+        if self.chirp_repetition_interval_s < self.ranging_chirp.duration_s:
+            raise ConfigurationError(
+                "chirp repetition interval shorter than the chirp itself"
+            )
+        if self.n_ranging_chirps < 3:
+            raise ConfigurationError(
+                "background subtraction needs at least 3 chirps (paper uses 5)"
+            )
+
+    def max_unambiguous_range_m(self) -> float:
+        """Largest range whose beat stays below the capture Nyquist."""
+        return (
+            self.beat_sample_rate_hz
+            / 2.0
+            * SPEED_OF_LIGHT
+            / (2.0 * self.ranging_chirp.slope_hz_per_s)
+        )

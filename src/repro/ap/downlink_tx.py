@@ -1,0 +1,87 @@
+"""AP downlink transmitter: bits → OAQFM (or OOK-fallback) waveform (§6.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.antennas.dual_port_fsa import TonePair
+from repro.dsp.signal import Signal
+from repro.errors import ConfigurationError
+from repro.phy.oaqfm import oaqfm_waveform
+from repro.phy.ook import ook_waveform
+
+__all__ = ["DownlinkTransmitter", "DownlinkBurst"]
+
+
+@dataclass(frozen=True)
+class DownlinkBurst:
+    """A transmit-ready downlink burst."""
+
+    waveform: Signal
+    pair: TonePair
+    symbol_rate_hz: float
+    n_symbols: int
+    used_ook_fallback: bool
+
+
+class DownlinkTransmitter:
+    """Builds downlink bursts, falling back to OOK at normal incidence.
+
+    ``min_tone_separation_hz`` decides when the two OAQFM tones are too
+    close to separate at the node's ports (the beams overlap within a
+    beamwidth) and single-carrier OOK takes over (paper §6.2).
+    """
+
+    def __init__(
+        self,
+        tx_power_w: float,
+        sample_rate_hz: float = 8.0e9,
+        min_tone_separation_hz: float = 200e6,
+    ) -> None:
+        if tx_power_w <= 0:
+            raise ConfigurationError("tx power must be positive")
+        self.tx_power_w = tx_power_w
+        self.sample_rate_hz = sample_rate_hz
+        self.min_tone_separation_hz = min_tone_separation_hz
+
+    def build_burst(
+        self,
+        bits: Sequence[int],
+        pair: TonePair,
+        bit_rate_bps: float,
+    ) -> DownlinkBurst:
+        """OAQFM burst (2 bits/symbol), or OOK (1 bit/symbol) when the
+        pair is degenerate. Per-tone amplitude is √(P_tx/2) so the total
+        radiated power matches the budget regardless of symbol."""
+        if bit_rate_bps <= 0:
+            raise ConfigurationError("bit rate must be positive")
+        use_ook = pair.separation_hz < self.min_tone_separation_hz
+        if use_ook:
+            symbol_rate = bit_rate_bps
+            carrier = 0.5 * (pair.freq_a_hz + pair.freq_b_hz)
+            waveform = ook_waveform(
+                list(bits),
+                carrier,
+                symbol_rate,
+                self.sample_rate_hz,
+                amplitude=self.tx_power_w**0.5,
+            )
+            n_symbols = len(bits)
+        else:
+            symbol_rate = bit_rate_bps / 2.0
+            waveform = oaqfm_waveform(
+                list(bits),
+                pair,
+                symbol_rate,
+                self.sample_rate_hz,
+                amplitude=(self.tx_power_w / 2.0) ** 0.5,
+            )
+            n_symbols = (len(bits) + 1) // 2
+        return DownlinkBurst(
+            waveform=waveform,
+            pair=pair,
+            symbol_rate_hz=symbol_rate,
+            n_symbols=n_symbols,
+            used_ook_fallback=use_ook,
+        )

@@ -1,0 +1,24 @@
+"""Baseline systems: mmTag, Millimetro, OmniScatter, and the comparison."""
+
+from repro.baselines.base import BaselineSystem, SystemCapabilities
+from repro.baselines.mmtag import MmTagSystem
+from repro.baselines.millimetro import MillimetroSystem
+from repro.baselines.omniscatter import OmniScatterSystem
+from repro.baselines.comparison import (
+    MilBackSystem,
+    capability_table,
+    energy_comparison,
+    all_systems,
+)
+
+__all__ = [
+    "BaselineSystem",
+    "SystemCapabilities",
+    "MmTagSystem",
+    "MillimetroSystem",
+    "OmniScatterSystem",
+    "MilBackSystem",
+    "capability_table",
+    "energy_comparison",
+    "all_systems",
+]

@@ -1,0 +1,46 @@
+"""Common baseline-system interface for the Table-1 comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SystemCapabilities", "BaselineSystem"]
+
+
+@dataclass(frozen=True)
+class SystemCapabilities:
+    """The four capability columns of the paper's Table 1."""
+
+    uplink: bool
+    localization: bool
+    downlink: bool
+    orientation_sensing: bool
+
+    def as_row(self) -> dict[str, str]:
+        """Yes/No cells, matching the table."""
+        return {
+            "Uplink Communication": "Yes" if self.uplink else "No",
+            "Localization": "Yes" if self.localization else "No",
+            "Downlink Communication": "Yes" if self.downlink else "No",
+            "Orientation Sensing": "Yes" if self.orientation_sensing else "No",
+        }
+
+
+class BaselineSystem:
+    """Base class: a named system with declared + *demonstrated* abilities.
+
+    Capabilities are not just declared flags — each concrete system backs
+    its "Yes" cells with a probe method that actually exercises the
+    capability in simulation, so the comparison table is generated from
+    demonstrated behaviour.
+    """
+
+    name = "baseline"
+
+    def capabilities(self) -> SystemCapabilities:
+        """Declared capability row."""
+        raise NotImplementedError
+
+    def energy_per_bit_j(self) -> float | None:
+        """Uplink energy efficiency, or None when uplink is unsupported."""
+        return None

@@ -1,0 +1,77 @@
+"""mmTag baseline (SIGCOMM'21 [35]): uplink-only mmWave backscatter.
+
+mmTag's node is a Van Atta retroreflector with a modulating switch: great
+uplink energy efficiency (2.4 nJ/bit per the paper's §9.6 comparison),
+but no signal port — so no downlink — and no localization support in its
+published design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.antennas.van_atta import VanAttaArray
+from repro.baselines.base import BaselineSystem, SystemCapabilities
+from repro.channel.propagation import free_space_path_loss_db
+from repro.constants import (
+    AP_HORN_GAIN_DBI,
+    AP_TX_POWER_DBM,
+    BAND_CENTER_HZ,
+    MMTAG_ENERGY_PER_BIT_J,
+)
+from repro.dsp.noise import thermal_noise_power_dbm
+from repro.errors import ConfigurationError
+
+__all__ = ["MmTagSystem"]
+
+
+@dataclass
+class MmTagSystem(BaselineSystem):
+    """Behavioural mmTag: Van Atta + switch, uplink only."""
+
+    array: VanAttaArray = field(default_factory=VanAttaArray)
+    tx_power_dbm: float = AP_TX_POWER_DBM
+    ap_gain_dbi: float = AP_HORN_GAIN_DBI
+    carrier_hz: float = BAND_CENTER_HZ
+    modulation_loss_db: float = 3.9
+    implementation_loss_db: float = 4.0
+    noise_figure_db: float = 5.0
+    node_power_w: float = 2.4e-9 * 1e9 * 1e-3  # 2.4 nJ/bit at 1 Mbps reference
+
+    name = "mmTag [35]"
+
+    def capabilities(self) -> SystemCapabilities:
+        return SystemCapabilities(
+            uplink=True, localization=False, downlink=False, orientation_sensing=False
+        )
+
+    def energy_per_bit_j(self) -> float:
+        """Published uplink energy efficiency."""
+        return MMTAG_ENERGY_PER_BIT_J
+
+    def uplink_snr_db(
+        self,
+        distance_m: float,
+        incidence_deg: float = 0.0,
+        bit_rate_bps: float = 10e6,
+    ) -> float:
+        """Uplink SNR of the retro-reflected, switch-modulated signal.
+
+        Two-way Friis with the Van Atta's combined retro gain; the wide
+        retro field of view is mmTag's advantage over a fixed beam — and
+        what MilBack trades for its signal ports.
+        """
+        if distance_m <= 0:
+            raise ConfigurationError("distance must be positive")
+        fspl = float(free_space_path_loss_db(distance_m, self.carrier_hz))
+        retro = float(self.array.retro_gain_dbi(incidence_deg, self.carrier_hz))
+        rx_power = (
+            self.tx_power_dbm
+            + 2.0 * self.ap_gain_dbi
+            + retro
+            - 2.0 * fspl
+            - self.modulation_loss_db
+            - self.implementation_loss_db
+        )
+        noise = thermal_noise_power_dbm(bit_rate_bps / 2.0, self.noise_figure_db)
+        return rx_power - noise

@@ -1,0 +1,112 @@
+"""Command-line interface: run paper experiments from the shell.
+
+    python -m repro list              # what can be reproduced
+    python -m repro run fig12         # one experiment, full trial counts
+    python -m repro run all           # the whole evaluation section
+    python -m repro run fig13 --trials 5   # quick look
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    coverage_map,
+    goodput,
+    sensitivity,
+    fig10_beam_pattern,
+    fig11_oaqfm,
+    fig12_localization,
+    fig13_orientation,
+    fig14_downlink,
+    fig15_uplink,
+    power_table,
+    table1_comparison,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: name -> (description, runner taking optional trial count)
+EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {
+    "fig10": ("Dual-port FSA beam pattern", lambda trials=None: fig10_beam_pattern.main()),
+    "fig11": ("OAQFM microbenchmark", lambda trials=None: fig11_oaqfm.main()),
+    "fig12": (
+        "Localization accuracy (ranging + AoA)",
+        lambda trials=None: fig12_localization.main(n_trials=trials or 20),
+    ),
+    "fig13": (
+        "Orientation sensing (node + AP)",
+        lambda trials=None: fig13_orientation.main(n_trials=trials or 25),
+    ),
+    "fig14": (
+        "Downlink SINR vs distance",
+        lambda trials=None: fig14_downlink.main(n_trials=trials or 10),
+    ),
+    "fig15": (
+        "Uplink SNR vs distance (10/40 Mbps)",
+        lambda trials=None: fig15_uplink.main(n_trials=trials or 10),
+    ),
+    "table1": ("Capability comparison", lambda trials=None: table1_comparison.main()),
+    "power": ("Node power consumption (§9.6)", lambda trials=None: power_table.main()),
+    "ablations": ("Design-choice ablations", lambda trials=None: ablations.main()),
+    "coverage": (
+        "2-D room coverage map (beyond the paper)",
+        lambda trials=None: coverage_map.main(n_trials=trials or 3),
+    ),
+    "goodput": (
+        "Application goodput: preamble tax + ARQ at range",
+        lambda trials=None: goodput.main(),
+    ),
+    "sensitivity": (
+        "Calibration-knob sensitivity audit",
+        lambda trials=None: sensitivity.main(),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MilBack (SIGCOMM 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproducible experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment name from 'list', or 'all'")
+    run.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="override the per-point trial count (where applicable)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    # run
+    if args.experiment == "all":
+        for name, (_, runner) in EXPERIMENTS.items():
+            print(f"\n### {name} " + "#" * max(60 - len(name), 0))
+            print(runner(trials=args.trials))
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(EXPERIMENTS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    _, runner = EXPERIMENTS[args.experiment]
+    print(runner(trials=args.trials))
+    return 0

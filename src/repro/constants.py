@@ -1,0 +1,92 @@
+"""Physical constants and MilBack system-wide defaults.
+
+Values mirror Section 8 (Implementation) of the paper wherever the paper
+states them; everything else is a documented engineering default.
+"""
+
+from __future__ import annotations
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Reference temperature for thermal noise [K].
+T0_KELVIN = 290.0
+
+#: Thermal noise power spectral density at T0 [dBm/Hz] (kT at 290 K).
+THERMAL_NOISE_DBM_HZ = -173.975
+
+# --- MilBack band plan (paper §8) -------------------------------------------
+
+#: Lower edge of the FMCW sweep [Hz].
+BAND_START_HZ = 26.5e9
+
+#: Upper edge of the FMCW sweep [Hz].
+BAND_STOP_HZ = 29.5e9
+
+#: Total FMCW sweep bandwidth [Hz] (3 GHz).
+BAND_WIDTH_HZ = BAND_STOP_HZ - BAND_START_HZ
+
+#: Band center [Hz].
+BAND_CENTER_HZ = 0.5 * (BAND_START_HZ + BAND_STOP_HZ)
+
+#: The paper's signal generator spans at most 2 GHz, so the 3 GHz sweep is
+#: patched from two 2 GHz chirps centered here (paper footnote 2).
+VXG_MAX_SPAN_HZ = 2.0e9
+PATCH_CENTERS_HZ = (27.25e9, 28.75e9)
+
+# --- AP parameters (paper §8) ------------------------------------------------
+
+#: AP transmit power [dBm].
+AP_TX_POWER_DBM = 27.0
+
+#: Gain of the Mi-Wave 261(34)-20/595 horn antennas [dBi].
+AP_HORN_GAIN_DBI = 20.0
+
+#: Field 1 (triangular, node-facing) chirp duration [s].
+FIELD1_CHIRP_DURATION_S = 45e-6
+
+#: Field 2 (sawtooth, localization) chirp duration [s].
+FIELD2_CHIRP_DURATION_S = 18e-6
+
+#: Number of sawtooth chirps in preamble Field 2 (paper §7).
+FIELD2_NUM_CHIRPS = 5
+
+#: Node reflective/absorptive toggle rate during localization [Hz] (§5.1).
+LOCALIZATION_TOGGLE_RATE_HZ = 10e3
+
+# --- Node parameters (paper §§4, 8, 9.6) -------------------------------------
+
+#: MCU ADC sampling rate at the node [Hz] (§9.3).
+NODE_ADC_RATE_HZ = 1e6
+
+#: Node power draw during localization and downlink [W] (§9.6).
+NODE_POWER_DOWNLINK_W = 18e-3
+
+#: Node power draw during uplink [W] (§9.6).
+NODE_POWER_UPLINK_W = 32e-3
+
+#: Typical MCU power, excluded from the node budget in the paper [W].
+MCU_POWER_W = 5.76e-3
+
+#: Maximum downlink data rate, limited by envelope-detector rise/fall [bit/s].
+MAX_DOWNLINK_RATE_BPS = 36e6
+
+#: Maximum uplink data rate, limited by switch toggle speed [bit/s].
+MAX_UPLINK_RATE_BPS = 160e6
+
+#: mmTag (SIGCOMM'21) uplink-only energy efficiency for comparison [J/bit].
+MMTAG_ENERGY_PER_BIT_J = 2.4e-9
+
+# --- FSA defaults (paper §2, §9.1) -------------------------------------------
+
+#: Azimuth scan coverage of the dual-port FSA across the band [deg].
+FSA_SCAN_COVERAGE_DEG = 60.0
+
+#: Approximate FSA peak gain from Fig. 10 [dBi].
+FSA_PEAK_GAIN_DBI = 13.0
+
+#: Approximate FSA beam width (§9.3) [deg].
+FSA_BEAMWIDTH_DEG = 10.0

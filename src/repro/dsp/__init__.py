@@ -1,0 +1,86 @@
+"""DSP substrate: signals, waveforms, filters, spectra, noise, symbols."""
+
+from repro.dsp.signal import Signal
+from repro.dsp.waveforms import (
+    SawtoothChirp,
+    TriangularChirp,
+    sawtooth_chirp,
+    triangular_chirp,
+    tone,
+    two_tone,
+    multi_tone,
+    ook_stream,
+)
+from repro.dsp.filters import (
+    design_lowpass_fir,
+    design_bandpass_fir,
+    apply_fir,
+    lowpass,
+    bandpass,
+    moving_average,
+    single_pole_lowpass,
+)
+from repro.dsp.fftutils import (
+    Spectrum,
+    PeakEstimate,
+    windowed_fft,
+    interpolated_peak,
+    find_peaks_above,
+)
+from repro.dsp.envelope import ideal_envelope, power_envelope, video_filtered_envelope
+from repro.dsp.mixing import mix_with_tone, downconvert, remove_dc
+from repro.dsp.noise import (
+    thermal_noise_power_w,
+    thermal_noise_power_dbm,
+    awgn,
+    add_noise,
+    complex_gaussian,
+)
+from repro.dsp.iq import save_signal, load_signal
+from repro.dsp.modulation import (
+    symbol_integrate,
+    estimate_threshold,
+    threshold_slice,
+    bits_from_levels,
+)
+
+__all__ = [
+    "Signal",
+    "SawtoothChirp",
+    "TriangularChirp",
+    "sawtooth_chirp",
+    "triangular_chirp",
+    "tone",
+    "two_tone",
+    "multi_tone",
+    "ook_stream",
+    "design_lowpass_fir",
+    "design_bandpass_fir",
+    "apply_fir",
+    "lowpass",
+    "bandpass",
+    "moving_average",
+    "single_pole_lowpass",
+    "Spectrum",
+    "PeakEstimate",
+    "windowed_fft",
+    "interpolated_peak",
+    "find_peaks_above",
+    "ideal_envelope",
+    "power_envelope",
+    "video_filtered_envelope",
+    "mix_with_tone",
+    "downconvert",
+    "remove_dc",
+    "thermal_noise_power_w",
+    "thermal_noise_power_dbm",
+    "awgn",
+    "add_noise",
+    "complex_gaussian",
+    "save_signal",
+    "load_signal",
+    "symbol_integrate",
+    "estimate_threshold",
+    "threshold_slice",
+    "bits_from_levels",
+]

@@ -1,0 +1,158 @@
+"""Digital filters used by the receive chains.
+
+Implements windowed-sinc FIR design plus the handful of application
+shapes the AP and node need: low-pass (detector video bandwidth),
+band-pass (the AP's ZFHP-series filters after the mixer), and moving
+average (symbol integration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signal import Signal
+from repro.errors import ConfigurationError, SignalError
+
+__all__ = [
+    "design_lowpass_fir",
+    "design_bandpass_fir",
+    "apply_fir",
+    "lowpass",
+    "bandpass",
+    "moving_average",
+    "single_pole_lowpass",
+]
+
+
+def design_lowpass_fir(
+    cutoff_hz: float,
+    sample_rate_hz: float,
+    num_taps: int = 129,
+) -> np.ndarray:
+    """Windowed-sinc (Hamming) low-pass FIR with unity DC gain."""
+    _check_band(cutoff_hz, sample_rate_hz)
+    if num_taps < 3 or num_taps % 2 == 0:
+        raise ConfigurationError("num_taps must be an odd integer >= 3")
+    fc = cutoff_hz / sample_rate_hz  # normalized (cycles/sample)
+    n = np.arange(num_taps) - (num_taps - 1) / 2
+    taps = 2.0 * fc * np.sinc(2.0 * fc * n)
+    taps *= np.hamming(num_taps)
+    taps /= taps.sum()
+    return taps
+
+
+def design_bandpass_fir(
+    low_hz: float,
+    high_hz: float,
+    sample_rate_hz: float,
+    num_taps: int = 257,
+) -> np.ndarray:
+    """Band-pass FIR as the difference of two low-pass designs.
+
+    Gain is normalized to unity at the band center.
+    """
+    if not 0.0 <= low_hz < high_hz:
+        raise ConfigurationError(f"need 0 <= low < high, got [{low_hz}, {high_hz}]")
+    _check_band(high_hz, sample_rate_hz)
+    hp_part = design_lowpass_fir(high_hz, sample_rate_hz, num_taps)
+    if low_hz == 0.0:
+        taps = hp_part
+    else:
+        lp_part = design_lowpass_fir(low_hz, sample_rate_hz, num_taps)
+        taps = hp_part - lp_part
+    center = 0.5 * (low_hz + high_hz)
+    n = np.arange(num_taps) - (num_taps - 1) / 2
+    response = np.abs(np.sum(taps * np.exp(-2j * np.pi * center / sample_rate_hz * n)))
+    if response < 1e-12:
+        raise ConfigurationError("degenerate band-pass design (zero center gain)")
+    return taps / response
+
+
+def apply_fir(signal: Signal, taps: np.ndarray) -> Signal:
+    """Filter a signal, compensating the FIR group delay.
+
+    'same'-mode convolution keeps the length; for the symmetric designs
+    above the group delay is (N-1)/2 samples, which 'same' already
+    centers, so timestamps stay aligned with the input.
+    """
+    if signal.samples.size == 0:
+        raise SignalError("cannot filter an empty signal")
+    filtered = np.convolve(signal.samples, taps, mode="same")
+    return Signal(
+        filtered,
+        signal.sample_rate_hz,
+        signal.center_frequency_hz,
+        signal.start_time_s,
+    )
+
+
+def lowpass(signal: Signal, cutoff_hz: float, num_taps: int = 129) -> Signal:
+    """Low-pass filter a signal with a windowed-sinc FIR."""
+    return apply_fir(signal, design_lowpass_fir(cutoff_hz, signal.sample_rate_hz, num_taps))
+
+
+def bandpass(
+    signal: Signal,
+    low_hz: float,
+    high_hz: float,
+    num_taps: int = 257,
+) -> Signal:
+    """Band-pass filter a signal (e.g. the AP's post-mixer BPF)."""
+    return apply_fir(
+        signal, design_bandpass_fir(low_hz, high_hz, signal.sample_rate_hz, num_taps)
+    )
+
+
+def moving_average(signal: Signal, window_samples: int) -> Signal:
+    """Boxcar average; the optimum integrator for rectangular symbols."""
+    if window_samples < 1:
+        raise ConfigurationError("window must be at least one sample")
+    taps = np.full(window_samples, 1.0 / window_samples)
+    filtered = np.convolve(signal.samples, taps, mode="same")
+    return Signal(
+        filtered,
+        signal.sample_rate_hz,
+        signal.center_frequency_hz,
+        signal.start_time_s,
+    )
+
+
+def single_pole_lowpass(signal: Signal, bandwidth_hz: float) -> Signal:
+    """First-order (RC) IIR low-pass.
+
+    This is the shape of an envelope detector's video output: exponential
+    rise/fall with time constant 1/(2π·BW). Used by the hardware models to
+    impose finite rise/fall times.
+    """
+    if bandwidth_hz <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+    dt = 1.0 / signal.sample_rate_hz
+    alpha = 1.0 - np.exp(-2.0 * np.pi * bandwidth_hz * dt)
+    out = np.empty_like(signal.samples)
+    state = 0.0 + 0.0j
+    samples = signal.samples
+    # First-order recursion; numpy cannot vectorize the dependence chain,
+    # but scipy's lfilter can.
+    try:
+        from scipy.signal import lfilter
+
+        out = lfilter([alpha], [1.0, -(1.0 - alpha)], samples)
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        for i, x in enumerate(samples):
+            state = state + alpha * (x - state)
+            out[i] = state
+    return Signal(
+        out,
+        signal.sample_rate_hz,
+        signal.center_frequency_hz,
+        signal.start_time_s,
+    )
+
+
+def _check_band(edge_hz: float, sample_rate_hz: float) -> None:
+    if edge_hz <= 0:
+        raise ConfigurationError("band edge must be positive")
+    if edge_hz >= sample_rate_hz / 2:
+        raise ConfigurationError(
+            f"band edge {edge_hz} Hz at/above Nyquist ({sample_rate_hz/2} Hz)"
+        )

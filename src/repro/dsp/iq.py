@@ -1,0 +1,43 @@
+"""IQ trace persistence: save and load :class:`Signal` captures.
+
+Research workflows want to move simulated captures into other tools
+(or regression-test against golden traces). The format is a plain .npz
+with the samples and the three grid attributes — readable from any
+numpy without this package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signal import Signal
+from repro.errors import SignalError
+
+__all__ = ["save_signal", "load_signal"]
+
+_REQUIRED_KEYS = ("samples", "sample_rate_hz", "center_frequency_hz", "start_time_s")
+
+
+def save_signal(signal: Signal, path: str) -> None:
+    """Write a signal to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        samples=signal.samples,
+        sample_rate_hz=np.float64(signal.sample_rate_hz),
+        center_frequency_hz=np.float64(signal.center_frequency_hz),
+        start_time_s=np.float64(signal.start_time_s),
+    )
+
+
+def load_signal(path: str) -> Signal:
+    """Read a signal written by :func:`save_signal`."""
+    with np.load(path) as data:
+        missing = [key for key in _REQUIRED_KEYS if key not in data]
+        if missing:
+            raise SignalError(f"{path} is not an IQ trace: missing {missing}")
+        return Signal(
+            samples=np.asarray(data["samples"]),
+            sample_rate_hz=float(data["sample_rate_hz"]),
+            center_frequency_hz=float(data["center_frequency_hz"]),
+            start_time_s=float(data["start_time_s"]),
+        )

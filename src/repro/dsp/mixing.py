@@ -1,0 +1,64 @@
+"""Mixing / frequency translation DSP.
+
+The AP's receive chain multiplies the received signal by each transmitted
+query tone (paper §6.3, Fig. 7): clutter and self-interference — delayed
+copies of the tone itself — collapse to DC, while the node's switched
+modulation lands at the (nonzero) baseband modulation frequency where a
+band-pass filter can pick it out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signal import Signal
+from repro.errors import SignalError
+
+__all__ = ["mix_with_tone", "downconvert", "remove_dc"]
+
+
+def mix_with_tone(signal: Signal, tone_frequency_hz: float) -> Signal:
+    """Multiply by exp(-j 2π (f_tone - center) t): content at the tone
+    frequency lands at DC.
+
+    This is the complex-baseband equivalent of the AP's analog mixer fed
+    with cos(2π f_tone t); the image/sum products a real mixer makes are
+    exactly the terms the paper filters out with its BPF, so the complex
+    model simply never creates them.
+    """
+    offset = tone_frequency_hz - signal.center_frequency_hz
+    if abs(offset) > signal.sample_rate_hz / 2:
+        raise SignalError(
+            f"tone offset {offset/1e6:.1f} MHz outside Nyquist band of "
+            f"fs={signal.sample_rate_hz/1e6:.1f} MHz"
+        )
+    t = signal.time_axis_s
+    mixed = signal.samples * np.exp(-2j * np.pi * offset * t)
+    return Signal(mixed, signal.sample_rate_hz, 0.0, signal.start_time_s)
+
+
+def downconvert(rf: Signal, lo: Signal) -> Signal:
+    """Multiply ``rf`` by the conjugate of ``lo`` (dechirping).
+
+    For FMCW this is the classic stretch processor: a reflection delayed
+    by τ against the transmitted chirp becomes a beat tone at slope·τ.
+    """
+    if rf.sample_rate_hz != lo.sample_rate_hz:
+        raise SignalError("rf and lo sample rates differ")
+    n = min(rf.samples.size, lo.samples.size)
+    if n == 0:
+        raise SignalError("empty signal in downconvert")
+    mixed = rf.samples[:n] * np.conj(lo.samples[:n])
+    return Signal(mixed, rf.sample_rate_hz, 0.0, rf.start_time_s)
+
+
+def remove_dc(signal: Signal) -> Signal:
+    """Subtract the complex mean — a crude but effective DC block."""
+    if signal.samples.size == 0:
+        raise SignalError("empty signal")
+    return Signal(
+        signal.samples - signal.samples.mean(),
+        signal.sample_rate_hz,
+        signal.center_frequency_hz,
+        signal.start_time_s,
+    )

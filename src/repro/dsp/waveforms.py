@@ -1,0 +1,355 @@
+"""Waveform synthesis: FMCW chirps, tones, two-tone queries, OOK streams.
+
+These are the transmit-side primitives of MilBack's AP (paper §8):
+
+* sawtooth chirps — preamble Field 2, used for FMCW ranging;
+* triangular chirps — preamble Field 1, used for node-side orientation;
+* two-tone queries — OAQFM uplink carrier / downlink symbols;
+* OOK streams — the single-carrier fallback at normal incidence.
+
+All generators return :class:`~repro.dsp.signal.Signal` complex-baseband
+signals whose ``|sample|^2`` is instantaneous power in watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.constants import (
+    BAND_CENTER_HZ,
+    BAND_START_HZ,
+    BAND_STOP_HZ,
+    FIELD1_CHIRP_DURATION_S,
+    FIELD2_CHIRP_DURATION_S,
+)
+from repro.dsp.signal import Signal
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SawtoothChirp",
+    "TriangularChirp",
+    "sawtooth_chirp",
+    "triangular_chirp",
+    "tone",
+    "two_tone",
+    "ook_stream",
+    "multi_tone",
+]
+
+
+@dataclass(frozen=True)
+class SawtoothChirp:
+    """Parameters of a linear up-chirp (sawtooth FMCW ramp).
+
+    Defaults match the paper's Field 2: 26.5→29.5 GHz in 18 µs.
+    """
+
+    start_hz: float = BAND_START_HZ
+    stop_hz: float = BAND_STOP_HZ
+    duration_s: float = FIELD2_CHIRP_DURATION_S
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("chirp duration must be positive")
+        if self.stop_hz <= self.start_hz:
+            raise ConfigurationError("chirp must sweep upward (stop > start)")
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """Swept bandwidth [Hz]."""
+        return self.stop_hz - self.start_hz
+
+    @property
+    def center_hz(self) -> float:
+        """Sweep center frequency [Hz]."""
+        return 0.5 * (self.start_hz + self.stop_hz)
+
+    @property
+    def slope_hz_per_s(self) -> float:
+        """Chirp slope [Hz/s]; the FMCW beat-to-delay conversion factor."""
+        return self.bandwidth_hz / self.duration_s
+
+    def instantaneous_frequency_hz(self, t_s):
+        """Absolute instantaneous frequency at time(s) ``t_s`` into the chirp.
+
+        Times wrap modulo the chirp duration, matching a repeating ramp.
+        """
+        t = np.mod(np.asarray(t_s, dtype=float), self.duration_s)
+        return self.start_hz + self.slope_hz_per_s * t
+
+    def range_resolution_m(self) -> float:
+        """FMCW range resolution c/2B [m] (5 cm at 3 GHz)."""
+        from repro.constants import SPEED_OF_LIGHT
+
+        return SPEED_OF_LIGHT / (2.0 * self.bandwidth_hz)
+
+
+@dataclass(frozen=True)
+class TriangularChirp:
+    """A symmetric up-then-down chirp (paper Fig. 5).
+
+    Defaults match Field 1: 26.5→29.5→26.5 GHz in 45 µs. The V-shape is
+    what lets the node convert "which frequency aligned with my beam" into
+    "how far apart were my two power peaks" (§5.2b).
+    """
+
+    start_hz: float = BAND_START_HZ
+    stop_hz: float = BAND_STOP_HZ
+    duration_s: float = FIELD1_CHIRP_DURATION_S
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("chirp duration must be positive")
+        if self.stop_hz <= self.start_hz:
+            raise ConfigurationError("chirp must sweep upward (stop > start)")
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """Swept bandwidth [Hz]."""
+        return self.stop_hz - self.start_hz
+
+    @property
+    def center_hz(self) -> float:
+        """Sweep center [Hz]."""
+        return 0.5 * (self.start_hz + self.stop_hz)
+
+    @property
+    def half_duration_s(self) -> float:
+        """Duration of the up-sweep (= down-sweep) [s]."""
+        return 0.5 * self.duration_s
+
+    @property
+    def slope_hz_per_s(self) -> float:
+        """Magnitude of the sweep slope on either leg [Hz/s]."""
+        return self.bandwidth_hz / self.half_duration_s
+
+    def instantaneous_frequency_hz(self, t_s):
+        """Absolute instantaneous frequency at time(s) ``t_s`` into the chirp."""
+        t = np.mod(np.asarray(t_s, dtype=float), self.duration_s)
+        up = t < self.half_duration_s
+        freq = np.where(
+            up,
+            self.start_hz + self.slope_hz_per_s * t,
+            self.stop_hz - self.slope_hz_per_s * (t - self.half_duration_s),
+        )
+        return freq
+
+    def crossing_times_s(self, frequency_hz: float) -> tuple[float, float]:
+        """The two times within one period at which the sweep passes
+        ``frequency_hz`` (once going up, once coming down).
+
+        The gap between them is the observable the node measures: a beam
+        aligned at frequency f sees detector peaks exactly at these times.
+        """
+        if not self.start_hz <= frequency_hz <= self.stop_hz:
+            raise ConfigurationError(
+                f"frequency {frequency_hz/1e9:.3f} GHz outside sweep "
+                f"[{self.start_hz/1e9:.3f}, {self.stop_hz/1e9:.3f}] GHz"
+            )
+        t_up = (frequency_hz - self.start_hz) / self.slope_hz_per_s
+        t_down = self.half_duration_s + (self.stop_hz - frequency_hz) / self.slope_hz_per_s
+        return (t_up, t_down)
+
+    def frequency_from_peak_gap(self, gap_s: float) -> float:
+        """Invert :meth:`crossing_times_s`: recover the alignment frequency
+        from the measured peak separation.
+
+        gap = t_down - t_up = T/2 + (f_stop - f)/s - (f - f_start)/s, hence
+        f = f_stop - (gap - T/2) * s / 2 ... solved below. Gaps are clipped
+        to the physically possible interval.
+        """
+        gap = float(np.clip(gap_s, 0.0, self.duration_s))
+        # gap(f) = T/2 + ((f_stop - f) - (f - f_start)) / s
+        #        = T/2 + (f_stop + f_start - 2 f) / s
+        freq = 0.5 * (self.stop_hz + self.start_hz - (gap - self.half_duration_s) * self.slope_hz_per_s)
+        return float(np.clip(freq, self.start_hz, self.stop_hz))
+
+
+def _phase_from_frequency(freq_offsets_hz: np.ndarray, sample_rate_hz: float) -> np.ndarray:
+    """Integrate a baseband frequency trajectory into phase samples."""
+    dt = 1.0 / sample_rate_hz
+    # Cumulative trapezoid keeps phase continuous across slope changes.
+    increments = 2.0 * np.pi * freq_offsets_hz * dt
+    phase = np.cumsum(increments)
+    # Phase at sample n should reflect frequency integrated up to n, not
+    # including n's own full increment; shift by half a step for symmetry.
+    return phase - 0.5 * increments
+
+
+def sawtooth_chirp(
+    config: SawtoothChirp,
+    sample_rate_hz: float,
+    amplitude: float = 1.0,
+    n_chirps: int = 1,
+    start_time_s: float = 0.0,
+) -> Signal:
+    """Synthesize ``n_chirps`` back-to-back sawtooth ramps.
+
+    The baseband is referenced to the sweep center, so sample content
+    spans ±bandwidth/2; ``sample_rate_hz`` must exceed the bandwidth.
+    """
+    _require_rate(sample_rate_hz, config.bandwidth_hz)
+    if n_chirps < 1:
+        raise ConfigurationError("n_chirps must be >= 1")
+    n = int(round(config.duration_s * sample_rate_hz)) * n_chirps
+    t = np.arange(n) / sample_rate_hz
+    offsets = config.instantaneous_frequency_hz(t) - config.center_hz
+    phase = _phase_from_frequency(offsets, sample_rate_hz)
+    return Signal(
+        amplitude * np.exp(1j * phase),
+        sample_rate_hz,
+        config.center_hz,
+        start_time_s,
+    )
+
+
+def triangular_chirp(
+    config: TriangularChirp,
+    sample_rate_hz: float,
+    amplitude: float = 1.0,
+    n_chirps: int = 1,
+    start_time_s: float = 0.0,
+) -> Signal:
+    """Synthesize ``n_chirps`` back-to-back triangular chirps."""
+    _require_rate(sample_rate_hz, config.bandwidth_hz)
+    if n_chirps < 1:
+        raise ConfigurationError("n_chirps must be >= 1")
+    n = int(round(config.duration_s * sample_rate_hz)) * n_chirps
+    t = np.arange(n) / sample_rate_hz
+    offsets = config.instantaneous_frequency_hz(t) - config.center_hz
+    phase = _phase_from_frequency(offsets, sample_rate_hz)
+    return Signal(
+        amplitude * np.exp(1j * phase),
+        sample_rate_hz,
+        config.center_hz,
+        start_time_s,
+    )
+
+
+def tone(
+    frequency_hz: float,
+    duration_s: float,
+    sample_rate_hz: float,
+    amplitude: float = 1.0,
+    center_frequency_hz: float = BAND_CENTER_HZ,
+    phase_rad: float = 0.0,
+    start_time_s: float = 0.0,
+) -> Signal:
+    """A single continuous tone at absolute RF frequency ``frequency_hz``."""
+    offset = frequency_hz - center_frequency_hz
+    if abs(offset) > sample_rate_hz / 2:
+        raise ConfigurationError(
+            f"tone offset {offset/1e6:.1f} MHz exceeds Nyquist for "
+            f"fs={sample_rate_hz/1e6:.1f} MHz"
+        )
+    n = int(round(duration_s * sample_rate_hz))
+    t = start_time_s + np.arange(n) / sample_rate_hz
+    samples = amplitude * np.exp(1j * (2.0 * np.pi * offset * t + phase_rad))
+    return Signal(samples, sample_rate_hz, center_frequency_hz, start_time_s)
+
+
+def two_tone(
+    freq_a_hz: float,
+    freq_b_hz: float,
+    duration_s: float,
+    sample_rate_hz: float,
+    amplitude_a: float = 1.0,
+    amplitude_b: float = 1.0,
+    center_frequency_hz: float = BAND_CENTER_HZ,
+    start_time_s: float = 0.0,
+) -> Signal:
+    """The OAQFM query waveform cos(2π f_A t) + cos(2π f_B t) (paper §6.3)."""
+    a = tone(
+        freq_a_hz,
+        duration_s,
+        sample_rate_hz,
+        amplitude_a,
+        center_frequency_hz,
+        start_time_s=start_time_s,
+    )
+    b = tone(
+        freq_b_hz,
+        duration_s,
+        sample_rate_hz,
+        amplitude_b,
+        center_frequency_hz,
+        start_time_s=start_time_s,
+    )
+    return a + b
+
+
+def multi_tone(
+    frequencies_hz: Sequence[float],
+    amplitudes: Sequence[float],
+    duration_s: float,
+    sample_rate_hz: float,
+    center_frequency_hz: float = BAND_CENTER_HZ,
+    start_time_s: float = 0.0,
+) -> Signal:
+    """Sum of tones with per-tone amplitudes (general OAQFM symbols)."""
+    if len(frequencies_hz) != len(amplitudes):
+        raise ConfigurationError("frequencies and amplitudes must pair up")
+    if not frequencies_hz:
+        raise ConfigurationError("multi_tone requires at least one tone")
+    out = tone(
+        frequencies_hz[0],
+        duration_s,
+        sample_rate_hz,
+        amplitudes[0],
+        center_frequency_hz,
+        start_time_s=start_time_s,
+    )
+    for f, a in zip(frequencies_hz[1:], amplitudes[1:]):
+        out = out + tone(
+            f,
+            duration_s,
+            sample_rate_hz,
+            a,
+            center_frequency_hz,
+            start_time_s=start_time_s,
+        )
+    return out
+
+
+def ook_stream(
+    bits: Sequence[int],
+    carrier_hz: float,
+    symbol_duration_s: float,
+    sample_rate_hz: float,
+    amplitude: float = 1.0,
+    center_frequency_hz: float = BAND_CENTER_HZ,
+    start_time_s: float = 0.0,
+) -> Signal:
+    """On-off-keyed bit stream on one carrier (the f_A = f_B fallback)."""
+    if not bits:
+        raise ConfigurationError("ook_stream requires at least one bit")
+    samples_per_symbol = int(round(symbol_duration_s * sample_rate_hz))
+    if samples_per_symbol < 1:
+        raise ConfigurationError("symbol shorter than one sample")
+    gate = np.repeat([1.0 if b else 0.0 for b in bits], samples_per_symbol)
+    carrier = tone(
+        carrier_hz,
+        len(bits) * symbol_duration_s,
+        sample_rate_hz,
+        amplitude,
+        center_frequency_hz,
+        start_time_s=start_time_s,
+    )
+    n = min(gate.size, carrier.samples.size)
+    return Signal(
+        carrier.samples[:n] * gate[:n],
+        sample_rate_hz,
+        center_frequency_hz,
+        start_time_s,
+    )
+
+
+def _require_rate(sample_rate_hz: float, bandwidth_hz: float) -> None:
+    if sample_rate_hz <= bandwidth_hz:
+        raise ConfigurationError(
+            f"sample rate {sample_rate_hz/1e9:.3f} GHz must exceed the swept "
+            f"bandwidth {bandwidth_hz/1e9:.3f} GHz to represent the chirp"
+        )

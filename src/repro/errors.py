@@ -1,0 +1,51 @@
+"""Exception hierarchy for the MilBack reproduction.
+
+Every error raised by this package derives from :class:`MilBackError`, so
+callers can catch package failures with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class MilBackError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(MilBackError):
+    """A component was constructed with physically impossible or
+    inconsistent parameters (negative bandwidth, zero elements, ...)."""
+
+
+class SignalError(MilBackError):
+    """A DSP operation received a signal it cannot process (mismatched
+    sample rates, empty sample buffers, wrong domain)."""
+
+
+class ChannelError(MilBackError):
+    """Propagation or scene-model failure (node outside the scene,
+    degenerate geometry)."""
+
+
+class HardwareError(MilBackError):
+    """A behavioural hardware model was driven outside its operating
+    envelope (switch toggled above its rate limit, ADC overrange)."""
+
+
+class ProtocolError(MilBackError):
+    """Malformed packet, bad preamble, CRC failure, or an out-of-order
+    protocol interaction."""
+
+
+class DecodingError(ProtocolError):
+    """Payload demodulation failed irrecoverably (no detectable symbol
+    boundaries, unusable SNR)."""
+
+
+class LocalizationError(MilBackError):
+    """The AP could not produce a location/orientation estimate (no peak
+    survived background subtraction, ambiguous spectrum)."""
+
+
+class CalibrationError(MilBackError):
+    """Calibration constants requested for an unknown configuration."""

@@ -1,0 +1,47 @@
+"""Paper-reproduction experiments: one module per figure/table.
+
+| Module | Paper result |
+|---|---|
+| fig10_beam_pattern | Fig. 10 — dual-port FSA beam pattern |
+| fig11_oaqfm | Fig. 11 — OAQFM microbenchmark |
+| fig12_localization | Fig. 12 — ranging + AoA accuracy |
+| fig13_orientation | Figs. 5 & 13 — orientation sensing |
+| fig14_downlink | Fig. 14 — downlink SINR vs distance |
+| fig15_uplink | Fig. 15 — uplink SNR vs distance |
+| table1_comparison | Table 1 — capability matrix |
+| power_table | §9.6 — power consumption |
+| ablations | design-choice ablations |
+| coverage_map | 2-D two-way coverage study (beyond the paper) |
+| goodput | application goodput: preamble tax + ARQ at range |
+| sensitivity | calibration-knob sensitivity audit |
+"""
+
+from repro.experiments import (
+    coverage_map,
+    goodput,
+    sensitivity,
+    fig10_beam_pattern,
+    fig11_oaqfm,
+    fig12_localization,
+    fig13_orientation,
+    fig14_downlink,
+    fig15_uplink,
+    table1_comparison,
+    power_table,
+    ablations,
+)
+
+__all__ = [
+    "fig10_beam_pattern",
+    "fig11_oaqfm",
+    "fig12_localization",
+    "fig13_orientation",
+    "fig14_downlink",
+    "fig15_uplink",
+    "table1_comparison",
+    "power_table",
+    "ablations",
+    "coverage_map",
+    "goodput",
+    "sensitivity",
+]

@@ -1,0 +1,96 @@
+"""Figure 10: dual-port FSA beam pattern.
+
+The paper plots gain versus direction for seven sample frequencies
+(26.5–29.5 GHz in 0.5 GHz steps) for both ports, showing >10 dBi beams
+whose directions mirror between ports and cover ~60° of azimuth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.antennas.dual_port_fsa import DualPortFsa
+from repro.analysis.report import render_table
+
+__all__ = ["BeamPatternResult", "run_fig10", "main"]
+
+#: The seven frequencies the paper samples (GHz → Hz).
+SAMPLE_FREQUENCIES_HZ = tuple(f * 1e9 for f in (26.5, 27.0, 27.5, 28.0, 28.5, 29.0, 29.5))
+
+
+@dataclass(frozen=True)
+class BeamPatternResult:
+    """Beam pattern cuts for both ports plus summary metrics."""
+
+    angles_deg: np.ndarray
+    gains_port_a: dict[float, np.ndarray]
+    gains_port_b: dict[float, np.ndarray]
+    peak_gains_dbi: dict[float, float]
+    beam_directions_a_deg: dict[float, float]
+    beam_directions_b_deg: dict[float, float]
+    scan_coverage_deg: float
+
+    def min_peak_gain_dbi(self) -> float:
+        """The weakest beam's peak gain (paper: >10 dBi everywhere)."""
+        return min(self.peak_gains_dbi.values())
+
+
+def run_fig10(
+    fsa: DualPortFsa | None = None,
+    angle_span_deg: float = 40.0,
+    n_angles: int = 801,
+) -> BeamPatternResult:
+    """Compute the Figure-10 pattern cuts."""
+    fsa = fsa or DualPortFsa()
+    angles = np.linspace(-angle_span_deg, angle_span_deg, n_angles)
+    gains_a, gains_b, peaks, dirs_a, dirs_b = {}, {}, {}, {}, {}
+    for freq in SAMPLE_FREQUENCIES_HZ:
+        ga = np.asarray(fsa.port_a.gain_dbi(angles, freq), dtype=float)
+        gb = np.asarray(fsa.port_b.gain_dbi(angles, freq), dtype=float)
+        gains_a[freq] = ga
+        gains_b[freq] = gb
+        peaks[freq] = float(max(ga.max(), gb.max()))
+        dirs_a[freq] = float(fsa.port_a.beam_angle_deg(freq))
+        dirs_b[freq] = float(fsa.port_b.beam_angle_deg(freq))
+    return BeamPatternResult(
+        angles_deg=angles,
+        gains_port_a=gains_a,
+        gains_port_b=gains_b,
+        peak_gains_dbi=peaks,
+        beam_directions_a_deg=dirs_a,
+        beam_directions_b_deg=dirs_b,
+        scan_coverage_deg=fsa.scan_coverage_deg(),
+    )
+
+
+def rows(result: BeamPatternResult) -> list[dict[str, object]]:
+    """Figure data as printable rows."""
+    out = []
+    for freq in SAMPLE_FREQUENCIES_HZ:
+        out.append(
+            {
+                "Frequency (GHz)": freq / 1e9,
+                "Port A beam (deg)": round(result.beam_directions_a_deg[freq], 2),
+                "Port B beam (deg)": round(result.beam_directions_b_deg[freq], 2),
+                "Peak gain (dBi)": round(result.peak_gains_dbi[freq], 2),
+            }
+        )
+    return out
+
+
+def main() -> str:
+    """Run and render the Figure-10 reproduction."""
+    result = run_fig10()
+    table = render_table(rows(result), title="Figure 10: dual-port FSA beam pattern")
+    summary = (
+        f"\nscan coverage: {result.scan_coverage_deg:.1f} deg "
+        f"(paper: ~60); min peak gain: {result.min_peak_gain_dbi():.1f} dBi "
+        f"(paper: >10)"
+    )
+    return table + summary
+
+
+if __name__ == "__main__":
+    print(main())

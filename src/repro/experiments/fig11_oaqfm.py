@@ -1,0 +1,110 @@
+"""Figure 11: OAQFM microbenchmark.
+
+The paper places a node 2 m from the AP, picks 27.5/28.5 GHz as the
+aligned tones, and sends the four symbols 00, 01, 10, 11 back to back
+with 1 µs symbols, plotting the envelope-detector voltage at each FSA
+port: each port sees only "its" tone, so the four symbols appear as the
+four on/off combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.scene import Scene2D
+from repro.dsp.signal import Signal
+from repro.sim.engine import MilBackSimulator
+from repro.analysis.report import render_table
+
+__all__ = ["OaqfmMicrobenchmark", "run_fig11", "main"]
+
+#: The paper's symbol sequence: 00, 01, 10, 11.
+SYMBOL_SEQUENCE_BITS = (0, 0, 0, 1, 1, 0, 1, 1)
+
+
+@dataclass(frozen=True)
+class OaqfmMicrobenchmark:
+    """Detector traces and per-symbol levels for the four-symbol burst."""
+
+    detector_a: Signal
+    detector_b: Signal
+    levels_a: np.ndarray
+    levels_b: np.ndarray
+    sinr_a_db: float
+    sinr_b_db: float
+    tone_a_hz: float
+    tone_b_hz: float
+
+    def symbol_matrix(self) -> list[dict[str, object]]:
+        """Per-symbol on/off pattern seen at each port."""
+        labels = ["00", "01", "10", "11"]
+        thr_a = 0.5 * (self.levels_a.max() + self.levels_a.min())
+        thr_b = 0.5 * (self.levels_b.max() + self.levels_b.min())
+        rows = []
+        for i, label in enumerate(labels):
+            rows.append(
+                {
+                    "Symbol": label,
+                    "Port A level (mV)": round(1e3 * self.levels_a[i], 3),
+                    "Port B level (mV)": round(1e3 * self.levels_b[i], 3),
+                    "Port A detects": self.levels_a[i] > thr_a,
+                    "Port B detects": self.levels_b[i] > thr_b,
+                }
+            )
+        return rows
+
+
+def run_fig11(
+    distance_m: float = 2.0,
+    orientation_deg: float = 10.5,
+    symbol_rate_hz: float = 1e6,
+    seed: int = 11,
+) -> OaqfmMicrobenchmark:
+    """Reproduce the Figure-11 microbenchmark.
+
+    The default orientation puts the aligned tone pair near the paper's
+    27.5/28.5 GHz choice (the exact values depend on the FSA dispersion).
+    """
+    scene = Scene2D.single_node(distance_m, orientation_deg=orientation_deg)
+    sim = MilBackSimulator(scene, seed=seed)
+    result = sim.simulate_downlink(
+        SYMBOL_SEQUENCE_BITS,
+        bit_rate_bps=2.0 * symbol_rate_hz,
+        keep_traces=True,
+    )
+    from repro.dsp.modulation import symbol_integrate
+
+    n_symbols = len(SYMBOL_SEQUENCE_BITS) // 2
+    levels_a = symbol_integrate(result.detector_a, 1.0 / symbol_rate_hz, n_symbols)
+    levels_b = symbol_integrate(result.detector_b, 1.0 / symbol_rate_hz, n_symbols)
+    return OaqfmMicrobenchmark(
+        detector_a=result.detector_a,
+        detector_b=result.detector_b,
+        levels_a=levels_a,
+        levels_b=levels_b,
+        sinr_a_db=result.sinr_a_db,
+        sinr_b_db=result.sinr_b_db,
+        tone_a_hz=result.pair.freq_a_hz,
+        tone_b_hz=result.pair.freq_b_hz,
+    )
+
+
+def main() -> str:
+    """Run and render the Figure-11 reproduction."""
+    bench = run_fig11()
+    table = render_table(
+        bench.symbol_matrix(),
+        title="Figure 11: OAQFM microbenchmark (node at 2 m)",
+    )
+    tones = (
+        f"\ntones: f_A = {bench.tone_a_hz/1e9:.2f} GHz, "
+        f"f_B = {bench.tone_b_hz/1e9:.2f} GHz "
+        f"(paper used 27.5 / 28.5 GHz)"
+    )
+    return table + tones
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,129 @@
+"""Figure 15: uplink performance.
+
+SNR of the node's backscattered signal at the AP versus distance, at
+10 Mbps (panel a) and 40 Mbps (panel b). The 4× bandwidth costs ~6 dB of
+noise floor; the two-way channel makes the uplink roll off at 40 log d
+versus the downlink's 20 log d; and the paper's BER annotations
+(1e-10 … 3e-3) follow from the matched-filter OOK mapping. The maximum
+uplink rate, 160 Mbps, is set by the switch toggle speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.analysis.sweeps import SweepPoint, run_sweep
+from repro.channel.scene import Scene2D
+from repro.node.config import NodeConfig
+from repro.phy.ber import ook_matched_filter_ber
+from repro.sim.engine import MilBackSimulator
+
+__all__ = ["UplinkFigure", "run_fig15", "main"]
+
+#: Distances for panel (a), 10 Mbps [m].
+DISTANCES_10MBPS_M = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
+
+#: Distances for panel (b), 40 Mbps [m].
+DISTANCES_40MBPS_M = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0)
+
+
+@dataclass(frozen=True)
+class UplinkFigure:
+    """Both panels of Figure 15."""
+
+    snr_10mbps: list[SweepPoint]
+    snr_40mbps: list[SweepPoint]
+    max_uplink_rate_bps: float
+
+    def rate_gap_db(self, distance_m: float) -> float:
+        """SNR gap between the 10 and 40 Mbps curves at one distance."""
+        s10 = next(p.mean for p in self.snr_10mbps if p.parameter == distance_m)
+        s40 = next(p.mean for p in self.snr_40mbps if p.parameter == distance_m)
+        return s10 - s40
+
+
+def _snr_sweep(
+    distances_m,
+    bit_rate_bps: float,
+    n_trials: int,
+    orientation_deg: float,
+    n_bits: int,
+    seed: int,
+) -> list[SweepPoint]:
+    def trial(distance: float, rng: np.random.Generator) -> float:
+        scene = Scene2D.single_node(distance, orientation_deg=orientation_deg)
+        sim = MilBackSimulator(scene, seed=rng)
+        bits = rng.integers(0, 2, n_bits)
+        return sim.simulate_uplink(bits, bit_rate_bps).snr_db
+
+    return run_sweep(distances_m, trial, n_trials, seed)
+
+
+def run_fig15(
+    n_trials: int = 10,
+    orientation_deg: float = 10.0,
+    n_bits: int = 256,
+    seed: int = 15,
+) -> UplinkFigure:
+    """Both panels."""
+    return UplinkFigure(
+        snr_10mbps=_snr_sweep(
+            DISTANCES_10MBPS_M, 10e6, n_trials, orientation_deg, n_bits, seed
+        ),
+        snr_40mbps=_snr_sweep(
+            DISTANCES_40MBPS_M, 40e6, n_trials, orientation_deg, n_bits, seed + 1
+        ),
+        max_uplink_rate_bps=NodeConfig().max_uplink_bit_rate_bps(),
+    )
+
+
+def figure_rows(figure: UplinkFigure) -> list[dict[str, object]]:
+    """Both panels as printable rows."""
+    by_distance_40 = {p.parameter: p for p in figure.snr_40mbps}
+    rows = []
+    for point in figure.snr_10mbps:
+        row = {
+            "Distance (m)": point.parameter,
+            "SNR @10Mbps (dB)": round(point.mean, 1),
+            "BER @10Mbps": float(ook_matched_filter_ber(point.mean)),
+        }
+        p40 = by_distance_40.get(point.parameter)
+        row["SNR @40Mbps (dB)"] = round(p40.mean, 1) if p40 else ""
+        row["BER @40Mbps"] = float(ook_matched_filter_ber(p40.mean)) if p40 else ""
+        rows.append(row)
+    return rows
+
+
+def main(n_trials: int = 10) -> str:
+    """Run and render the Figure-15 reproduction."""
+    figure = run_fig15(n_trials=n_trials)
+    table = render_table(
+        figure_rows(figure),
+        title="Figure 15: uplink SNR vs distance",
+    )
+    from repro.analysis.plots import ascii_plot
+
+    x = [p.parameter for p in figure.snr_10mbps]
+    s40 = {p.parameter: p.mean for p in figure.snr_40mbps}
+    plot = ascii_plot(
+        x,
+        {
+            "10 Mbps": [p.mean for p in figure.snr_10mbps],
+            "40 Mbps": [s40.get(d, float("nan")) for d in x],
+        },
+        x_label="distance (m)",
+        y_label="SNR (dB)",
+    )
+    summary = (
+        f"\nrate gap at 4 m: {figure.rate_gap_db(4.0):.1f} dB (theory: ~6); "
+        f"max uplink rate: {figure.max_uplink_rate_bps/1e6:.0f} Mbps "
+        f"(paper: 160, switch limited)"
+    )
+    return table + "\n\n" + plot + summary
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,32 @@
+"""Behavioural hardware models for the node and AP components."""
+
+from repro.hardware.power import NodeMode, ComponentPower, PowerBudget, EnergyReport
+from repro.hardware.switch import SwitchState, SpdtSwitch
+from repro.hardware.envelope_detector import EnvelopeDetector
+from repro.hardware.amplifier import Amplifier, default_pa, default_lna
+from repro.hardware.adc import Adc
+from repro.hardware.mcu import Microcontroller
+from repro.hardware.mixer_rf import RfMixer
+from repro.hardware.waveform_generator import WaveformGenerator, ChirpSegment
+from repro.hardware.energy import Battery, DutyCycledNode, LifetimeEstimate
+
+__all__ = [
+    "NodeMode",
+    "ComponentPower",
+    "PowerBudget",
+    "EnergyReport",
+    "SwitchState",
+    "SpdtSwitch",
+    "EnvelopeDetector",
+    "Amplifier",
+    "default_pa",
+    "default_lna",
+    "Adc",
+    "Microcontroller",
+    "RfMixer",
+    "WaveformGenerator",
+    "ChirpSegment",
+    "Battery",
+    "DutyCycledNode",
+    "LifetimeEstimate",
+]

@@ -1,0 +1,77 @@
+"""Amplifier models: the AP's PA (ADPA7005) and LNAs (ADL8142), paper §8.
+
+Behavioural level: gain, noise figure, and output compression. Noise is
+injected input-referred so cascades compose per the Friis noise formula.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.noise import thermal_noise_power_w
+from repro.dsp.signal import Signal
+from repro.errors import HardwareError
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = ["Amplifier", "default_pa", "default_lna"]
+
+
+@dataclass
+class Amplifier:
+    """Gain block with noise figure and a soft output-power limit."""
+
+    gain_db: float
+    noise_figure_db: float = 0.0
+    output_p1db_dbm: float = math.inf
+    name: str = "amp"
+
+    def __post_init__(self) -> None:
+        if self.noise_figure_db < 0:
+            raise HardwareError("noise figure cannot be negative")
+
+    def amplify(self, signal: Signal, rng: RngLike = None) -> Signal:
+        """Apply gain, add input-referred thermal noise, clip at P1dB.
+
+        Added noise power = kT·fs·(F−1) at the input, i.e. the excess the
+        amplifier contributes beyond the source noise already present.
+        """
+        rng = make_rng(rng)
+        f_linear = 10.0 ** (self.noise_figure_db / 10.0)
+        excess = max(f_linear - 1.0, 0.0)
+        noise_power = thermal_noise_power_w(signal.sample_rate_hz) * excess
+        sigma = math.sqrt(noise_power / 2.0)
+        noise = sigma * (
+            rng.standard_normal(len(signal)) + 1j * rng.standard_normal(len(signal))
+        )
+        amplified = (signal.samples + noise) * 10.0 ** (self.gain_db / 20.0)
+        amplified = self._soft_clip(amplified)
+        return Signal(
+            amplified,
+            signal.sample_rate_hz,
+            signal.center_frequency_hz,
+            signal.start_time_s,
+        )
+
+    def _soft_clip(self, samples: np.ndarray) -> np.ndarray:
+        if not math.isfinite(self.output_p1db_dbm):
+            return samples
+        # Saturate smoothly ~1 dB above P1dB using a tanh envelope limiter.
+        p_sat_w = 1e-3 * 10.0 ** ((self.output_p1db_dbm + 1.0) / 10.0)
+        a_sat = math.sqrt(p_sat_w)
+        mags = np.abs(samples)
+        limited = a_sat * np.tanh(mags / a_sat)
+        scale = np.where(mags > 0, limited / np.maximum(mags, 1e-30), 1.0)
+        return samples * scale
+
+
+def default_pa() -> Amplifier:
+    """ADPA7005-class power amplifier driving the AP's TX horn."""
+    return Amplifier(gain_db=15.0, noise_figure_db=6.0, output_p1db_dbm=33.0, name="pa")
+
+
+def default_lna() -> Amplifier:
+    """ADL8142-class low-noise amplifier on each AP RX chain."""
+    return Amplifier(gain_db=20.0, noise_figure_db=3.3, output_p1db_dbm=10.0, name="lna")

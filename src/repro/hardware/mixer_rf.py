@@ -1,0 +1,37 @@
+"""AP receive mixer model (Mini-Circuits ZMDB-44H-K+-class, paper §8).
+
+The AP multiplies each RX branch by one transmitted query tone; delayed
+copies of the tone (self-interference, clutter) land at DC, the node's
+switched modulation lands at the baseband symbol rate (paper Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsp.mixing import mix_with_tone
+from repro.dsp.signal import Signal
+from repro.errors import HardwareError
+
+__all__ = ["RfMixer"]
+
+
+@dataclass(frozen=True)
+class RfMixer:
+    """Downconverting mixer with conversion loss.
+
+    The complex-baseband multiply creates none of the sum/image products
+    a diode mixer does — those are exactly the terms the paper's BPF
+    removes — so conversion loss is the only non-ideality retained.
+    """
+
+    conversion_loss_db: float = 7.0
+
+    def __post_init__(self) -> None:
+        if self.conversion_loss_db < 0:
+            raise HardwareError("conversion loss cannot be negative")
+
+    def downconvert_with_tone(self, rf: Signal, tone_frequency_hz: float) -> Signal:
+        """Mix ``rf`` against a LO at ``tone_frequency_hz``."""
+        mixed = mix_with_tone(rf, tone_frequency_hz)
+        return mixed.with_gain_db(-self.conversion_loss_db)

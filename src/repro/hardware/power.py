@@ -1,0 +1,104 @@
+"""Power and energy accounting for the MilBack node (paper §9.6).
+
+Each behavioural component reports its draw per operating state; the
+:class:`PowerBudget` sums them over a protocol phase and converts to
+energy-per-bit, reproducing the paper's headline numbers: 18 mW during
+localization/downlink, 32 mW during uplink, 0.5 / 0.8 nJ/bit, versus
+mmTag's 2.4 nJ/bit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NodeMode", "ComponentPower", "PowerBudget", "EnergyReport"]
+
+
+class NodeMode(enum.Enum):
+    """Operating phases of a MilBack node."""
+
+    IDLE = "idle"
+    LOCALIZATION = "localization"
+    DOWNLINK = "downlink"
+    UPLINK = "uplink"
+
+
+@dataclass(frozen=True)
+class ComponentPower:
+    """Power draw of one component across node modes [W]."""
+
+    name: str
+    draw_w: dict[NodeMode, float]
+
+    def __post_init__(self) -> None:
+        for mode, watts in self.draw_w.items():
+            if watts < 0:
+                raise ConfigurationError(f"{self.name}: negative power in {mode}")
+
+    def in_mode(self, mode: NodeMode) -> float:
+        """Draw in ``mode`` [W] (0 when the mode is not listed)."""
+        return self.draw_w.get(mode, 0.0)
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy summary for one communication mode."""
+
+    mode: NodeMode
+    power_w: float
+    data_rate_bps: float
+    energy_per_bit_j: float
+
+
+@dataclass
+class PowerBudget:
+    """Aggregates component draws into mode totals and energy metrics."""
+
+    components: list[ComponentPower] = field(default_factory=list)
+    include_mcu: bool = False
+    mcu_power_w: float = 5.76e-3
+
+    def add(self, component: ComponentPower) -> None:
+        """Register a component."""
+        self.components.append(component)
+
+    def total_power_w(self, mode: NodeMode) -> float:
+        """Total node draw in ``mode``.
+
+        The paper excludes the MCU from its 18/32 mW figures (footnote 3)
+        because host devices already have one; ``include_mcu`` restores
+        it.
+        """
+        total = sum(c.in_mode(mode) for c in self.components)
+        if self.include_mcu:
+            total += self.mcu_power_w
+        return total
+
+    def energy_per_bit_j(self, mode: NodeMode, data_rate_bps: float) -> float:
+        """Energy per bit at the given data rate [J/bit]."""
+        if data_rate_bps <= 0:
+            raise ConfigurationError("data rate must be positive")
+        return self.total_power_w(mode) / data_rate_bps
+
+    def report(self, mode: NodeMode, data_rate_bps: float) -> EnergyReport:
+        """A full :class:`EnergyReport` for one mode."""
+        power = self.total_power_w(mode)
+        return EnergyReport(
+            mode=mode,
+            power_w=power,
+            data_rate_bps=data_rate_bps,
+            energy_per_bit_j=power / data_rate_bps,
+        )
+
+    def breakdown(self, mode: NodeMode) -> dict[str, float]:
+        """Per-component-type draw in ``mode`` [W]; same-named components
+        (the two switches, the two detectors) are summed."""
+        table: dict[str, float] = {}
+        for component in self.components:
+            table[component.name] = table.get(component.name, 0.0) + component.in_mode(mode)
+        if self.include_mcu:
+            table["mcu"] = table.get("mcu", 0.0) + self.mcu_power_w
+        return table

@@ -1,0 +1,109 @@
+"""SPDT RF switch model (ADRF5020-class, paper §8).
+
+Each FSA port's switch routes the port either to ground (reflective) or
+to the envelope detector (absorptive). The model captures the three
+behaviours that matter to MilBack:
+
+* insertion loss / reflection efficiency — how much of the incident tone
+  actually returns in reflective mode;
+* isolation — how much leaks to the detector while reflecting;
+* maximum toggle rate — the 160 Mbps uplink ceiling (§9.5) — and the
+  rate-dependent power draw behind the 32 mW uplink figure (§9.6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hardware.power import ComponentPower, NodeMode
+
+__all__ = ["SwitchState", "SpdtSwitch"]
+
+
+class SwitchState(enum.Enum):
+    """Where the FSA port is routed."""
+
+    REFLECT = "reflect"  # port shorted to ground plane
+    ABSORB = "absorb"    # port matched into the envelope detector
+
+
+@dataclass
+class SpdtSwitch:
+    """Behavioural SPDT switch.
+
+    Attributes:
+        insertion_loss_db: loss through the switch per pass.
+        isolation_db: leakage suppression to the off branch.
+        max_toggle_rate_hz: fastest sustainable state-toggle rate; the
+            ADRF5020 settles in ~6 ns, supporting 80 M toggles/s per port
+            (2 ports × 80 M × 1 bit = the paper's 160 Mbps ceiling).
+        static_power_w: bias draw when idle.
+        toggle_energy_j: energy per state change (drives uplink power).
+    """
+
+    insertion_loss_db: float = 1.0
+    isolation_db: float = 30.0
+    max_toggle_rate_hz: float = 80e6
+    static_power_w: float = 1.0e-3
+    toggle_energy_j: float = 350e-12
+
+    state: SwitchState = SwitchState.ABSORB
+
+    def __post_init__(self) -> None:
+        if self.insertion_loss_db < 0 or self.isolation_db < 0:
+            raise HardwareError("losses must be non-negative")
+        if self.max_toggle_rate_hz <= 0:
+            raise HardwareError("toggle rate must be positive")
+
+    def set_state(self, state: SwitchState) -> None:
+        """Route the port."""
+        self.state = state
+
+    def reflection_amplitude(self) -> float:
+        """Field reflection coefficient of the FSA port through the switch.
+
+        REFLECT: a short circuit reflects fully, minus two passes of
+        insertion loss. ABSORB: the detector's matched 50 Ω absorbs the
+        wave; only the finite isolation leaks back.
+        """
+        if self.state is SwitchState.REFLECT:
+            return 10.0 ** (-2.0 * self.insertion_loss_db / 20.0)
+        return 10.0 ** (-self.isolation_db / 20.0)
+
+    def through_amplitude(self) -> float:
+        """Field transmission toward the detector branch."""
+        if self.state is SwitchState.ABSORB:
+            return 10.0 ** (-self.insertion_loss_db / 20.0)
+        return 10.0 ** (-self.isolation_db / 20.0)
+
+    def check_toggle_rate(self, rate_hz: float) -> None:
+        """Raise when asked to toggle faster than the part can settle."""
+        if rate_hz > self.max_toggle_rate_hz:
+            raise HardwareError(
+                f"toggle rate {rate_hz/1e6:.1f} MHz exceeds the switch limit "
+                f"{self.max_toggle_rate_hz/1e6:.1f} MHz"
+            )
+
+    def power_draw_w(self, toggle_rate_hz: float = 0.0) -> float:
+        """Average draw at a sustained toggle rate."""
+        self.check_toggle_rate(toggle_rate_hz)
+        return self.static_power_w + self.toggle_energy_j * toggle_rate_hz
+
+    def power_model(self, uplink_toggle_rate_hz: float = 20e6) -> ComponentPower:
+        """Per-mode power entry for the node budget.
+
+        Localization toggles at 10 kHz (negligible dynamic power);
+        downlink holds the switch static; uplink toggles at the symbol
+        rate per port (20 MHz at the paper's 40 Mbps OAQFM reference).
+        """
+        return ComponentPower(
+            name="spdt-switch",
+            draw_w={
+                NodeMode.IDLE: self.static_power_w,
+                NodeMode.LOCALIZATION: self.power_draw_w(10e3),
+                NodeMode.DOWNLINK: self.static_power_w,
+                NodeMode.UPLINK: self.power_draw_w(uplink_toggle_rate_hz),
+            },
+        )

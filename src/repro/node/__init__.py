@@ -1,0 +1,27 @@
+"""MilBack backscatter node: config, firmware, modem, orientation."""
+
+from repro.node.config import NodeConfig
+from repro.node.node import BackscatterNode
+from repro.node.modulator import UplinkModulator, GatePair
+from repro.node.demodulator import (
+    OaqfmDemodulator,
+    DownlinkDecodeResult,
+    measure_level_sinr_db,
+)
+from repro.node.orientation import NodeOrientationEstimator, NodeOrientationEstimate
+from repro.node.firmware import NodeFirmware, PayloadDirection, Field1Decision
+
+__all__ = [
+    "NodeConfig",
+    "BackscatterNode",
+    "UplinkModulator",
+    "GatePair",
+    "OaqfmDemodulator",
+    "DownlinkDecodeResult",
+    "measure_level_sinr_db",
+    "NodeOrientationEstimator",
+    "NodeOrientationEstimate",
+    "NodeFirmware",
+    "PayloadDirection",
+    "Field1Decision",
+]

@@ -1,0 +1,85 @@
+"""The MilBack backscatter node: hardware + firmware facade (paper Fig. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.antennas.dual_port_fsa import DualPortFsa
+from repro.errors import ConfigurationError
+from repro.hardware.power import NodeMode, PowerBudget
+from repro.hardware.switch import SwitchState
+from repro.node.config import NodeConfig
+from repro.node.demodulator import OaqfmDemodulator
+from repro.node.firmware import NodeFirmware
+from repro.node.modulator import UplinkModulator
+from repro.node.orientation import NodeOrientationEstimator
+
+__all__ = ["BackscatterNode"]
+
+
+class BackscatterNode:
+    """A complete MilBack node.
+
+    Wires the dual-port FSA, two switches, two envelope detectors, and
+    the MCU into one object, and exposes the node-side operations:
+    uplink modulation, downlink demodulation, orientation estimation,
+    and the power budget.
+    """
+
+    def __init__(self, config: NodeConfig | None = None) -> None:
+        self.config = config or NodeConfig()
+        self.fsa = DualPortFsa(self.config.fsa_design)
+        self.firmware = NodeFirmware(self.config)
+        self.modulator = UplinkModulator(self.config)
+        self.demodulator = OaqfmDemodulator()
+        self.orientation_estimator = NodeOrientationEstimator(self.fsa)
+
+    # --- port control ---------------------------------------------------------
+
+    def set_port_states(self, state_a: SwitchState, state_b: SwitchState) -> None:
+        """Route both FSA ports."""
+        self.config.switch_a.set_state(state_a)
+        self.config.switch_b.set_state(state_b)
+
+    def port_reflection_amplitudes(self) -> tuple[float, float]:
+        """Current field reflection coefficient of each port."""
+        return (
+            self.config.switch_a.reflection_amplitude(),
+            self.config.switch_b.reflection_amplitude(),
+        )
+
+    # --- capabilities -----------------------------------------------------------
+
+    def max_uplink_rate_bps(self) -> float:
+        """Switch-limited uplink ceiling (160 Mbps at defaults)."""
+        return self.config.max_uplink_bit_rate_bps()
+
+    def max_downlink_rate_bps(self) -> float:
+        """Detector-limited downlink ceiling (36 Mbps at defaults)."""
+        return self.config.max_downlink_bit_rate_bps()
+
+    # --- power -------------------------------------------------------------------
+
+    def power_budget(
+        self,
+        uplink_bit_rate_bps: float = 40e6,
+        include_mcu: bool = False,
+    ) -> PowerBudget:
+        """The node's power budget at a given uplink rate.
+
+        Each switch toggles at the OAQFM symbol rate (half the bit rate)
+        during uplink; the detectors are always biased.
+        """
+        if uplink_bit_rate_bps <= 0:
+            raise ConfigurationError("uplink rate must be positive")
+        budget = PowerBudget(include_mcu=include_mcu, mcu_power_w=self.config.mcu.active_power_w)
+        symbol_rate = uplink_bit_rate_bps / 2.0
+        budget.add(self.config.switch_a.power_model(symbol_rate))
+        budget.add(self.config.switch_b.power_model(symbol_rate))
+        budget.add(self.config.detector_a.power_model())
+        budget.add(self.config.detector_b.power_model())
+        return budget
+
+    def power_w(self, mode: NodeMode, uplink_bit_rate_bps: float = 40e6) -> float:
+        """Total draw in one mode (paper §9.6: 18 mW downlink, 32 mW uplink)."""
+        return self.power_budget(uplink_bit_rate_bps).total_power_w(mode)

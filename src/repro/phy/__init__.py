@@ -1,0 +1,74 @@
+"""PHY layer: OAQFM/OOK modulation, framing, BER math."""
+
+from repro.phy.oaqfm import (
+    OaqfmSymbol,
+    bits_to_symbols,
+    symbols_to_bits,
+    oaqfm_waveform,
+    tone_gates,
+)
+from repro.phy.ook import ook_waveform, decode_ook_levels
+from repro.phy.framing import (
+    SYNC_WORD_BITS,
+    crc16_ccitt,
+    bytes_to_bits,
+    bits_to_bytes,
+    encode_frame,
+    decode_frame,
+    find_sync,
+    FrameHeader,
+)
+from repro.phy.dense_oaqfm import (
+    DenseOaqfmScheme,
+    dense_symbol_levels,
+    decode_dense_levels,
+)
+from repro.phy.scrambling import scramble, descramble, lfsr_sequence
+from repro.phy.coding import (
+    hamming74_encode,
+    hamming74_decode,
+    interleave,
+    deinterleave,
+    code_rate,
+)
+from repro.phy.ber import (
+    q_function,
+    ook_matched_filter_ber,
+    ook_noncoherent_ber,
+    snr_for_target_ber,
+    measure_ber,
+)
+
+__all__ = [
+    "OaqfmSymbol",
+    "bits_to_symbols",
+    "symbols_to_bits",
+    "oaqfm_waveform",
+    "tone_gates",
+    "ook_waveform",
+    "decode_ook_levels",
+    "SYNC_WORD_BITS",
+    "crc16_ccitt",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "encode_frame",
+    "decode_frame",
+    "find_sync",
+    "FrameHeader",
+    "DenseOaqfmScheme",
+    "dense_symbol_levels",
+    "decode_dense_levels",
+    "scramble",
+    "descramble",
+    "lfsr_sequence",
+    "hamming74_encode",
+    "hamming74_decode",
+    "interleave",
+    "deinterleave",
+    "code_rate",
+    "q_function",
+    "ook_matched_filter_ber",
+    "ook_noncoherent_ber",
+    "snr_for_target_ber",
+    "measure_ber",
+]

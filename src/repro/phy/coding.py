@@ -1,0 +1,120 @@
+"""Forward error correction: Hamming(7,4) with block interleaving.
+
+MilBack's paper transmits raw bits; a deployed stack wants a thin FEC
+layer to convert the steep BER-vs-SNR cliff into extra range. Hamming
+(7,4) corrects one error per codeword at 4/7 rate — enough to matter at
+the 8–10 m edge — and the interleaver spreads the bursty errors that a
+fading beam edge produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodingError
+
+__all__ = [
+    "hamming74_encode",
+    "hamming74_decode",
+    "interleave",
+    "deinterleave",
+    "code_rate",
+]
+
+# Generator matrix (systematic): codeword = [d1 d2 d3 d4 p1 p2 p3].
+_G = np.array(
+    [
+        [1, 0, 0, 0, 1, 1, 0],
+        [0, 1, 0, 0, 1, 0, 1],
+        [0, 0, 1, 0, 0, 1, 1],
+        [0, 0, 0, 1, 1, 1, 1],
+    ],
+    dtype=np.uint8,
+)
+
+# Parity-check matrix consistent with _G.
+_H = np.array(
+    [
+        [1, 1, 0, 1, 1, 0, 0],
+        [1, 0, 1, 1, 0, 1, 0],
+        [0, 1, 1, 1, 0, 0, 1],
+    ],
+    dtype=np.uint8,
+)
+
+#: Syndrome (as integer) → error position in the 7-bit codeword.
+_SYNDROME_TO_POSITION = {}
+for _pos in range(7):
+    _e = np.zeros(7, dtype=np.uint8)
+    _e[_pos] = 1
+    _s = (_H @ _e) % 2
+    _SYNDROME_TO_POSITION[int(_s[0]) * 4 + int(_s[1]) * 2 + int(_s[2])] = _pos
+
+
+def code_rate() -> float:
+    """Information bits per coded bit (4/7)."""
+    return 4.0 / 7.0
+
+
+def hamming74_encode(bits) -> np.ndarray:
+    """Encode a bit stream into Hamming(7,4) codewords.
+
+    Input is zero-padded to a multiple of 4 data bits.
+    """
+    data = np.asarray(list(bits), dtype=np.uint8)
+    if data.size == 0:
+        raise ConfigurationError("no bits to encode")
+    if np.any(data > 1):
+        raise ConfigurationError("bits must be 0/1")
+    pad = (-data.size) % 4
+    if pad:
+        data = np.concatenate([data, np.zeros(pad, dtype=np.uint8)])
+    blocks = data.reshape(-1, 4)
+    return ((blocks @ _G) % 2).reshape(-1).astype(np.uint8)
+
+
+def hamming74_decode(coded) -> tuple[np.ndarray, int]:
+    """Decode codewords, correcting up to one bit error each.
+
+    Returns ``(data_bits, n_corrected)``.
+    """
+    coded = np.asarray(list(coded), dtype=np.uint8)
+    if coded.size == 0 or coded.size % 7:
+        raise DecodingError(f"coded length {coded.size} is not a multiple of 7")
+    words = coded.reshape(-1, 7).copy()
+    syndromes = (words @ _H.T) % 2
+    corrected = 0
+    for i, syndrome in enumerate(syndromes):
+        key = int(syndrome[0]) * 4 + int(syndrome[1]) * 2 + int(syndrome[2])
+        if key:
+            position = _SYNDROME_TO_POSITION[key]
+            words[i, position] ^= 1
+            corrected += 1
+    return words[:, :4].reshape(-1).astype(np.uint8), corrected
+
+
+def interleave(bits, depth: int = 8) -> np.ndarray:
+    """Block interleaver: write rows of ``depth``, read columns.
+
+    Zero-pads to a full block; pair with :func:`deinterleave` at the
+    same depth and trim to the original length.
+    """
+    if depth < 1:
+        raise ConfigurationError("depth must be >= 1")
+    bits = np.asarray(list(bits), dtype=np.uint8)
+    if bits.size == 0:
+        raise ConfigurationError("nothing to interleave")
+    pad = (-bits.size) % depth
+    if pad:
+        bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+    return bits.reshape(-1, depth).T.reshape(-1)
+
+
+def deinterleave(bits, depth: int = 8) -> np.ndarray:
+    """Inverse of :func:`interleave` (length must be a depth multiple)."""
+    if depth < 1:
+        raise ConfigurationError("depth must be >= 1")
+    bits = np.asarray(list(bits), dtype=np.uint8)
+    if bits.size == 0 or bits.size % depth:
+        raise DecodingError(f"length {bits.size} is not a multiple of depth {depth}")
+    return bits.reshape(depth, -1).T.reshape(-1)

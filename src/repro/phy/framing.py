@@ -1,0 +1,131 @@
+"""Bit-level framing: sync word, length field, CRC-16.
+
+The paper fixes the payload length by out-of-band agreement (§7); this
+layer adds the minimal structure a deployed stack needs on top — a sync
+word for symbol alignment, an explicit length, and a CRC-16/CCITT so
+corrupted payloads are detected rather than silently delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "SYNC_WORD_BITS",
+    "crc16_ccitt",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "encode_frame",
+    "decode_frame",
+    "FrameHeader",
+]
+
+#: Barker-13-derived sync pattern, good autocorrelation for alignment.
+SYNC_WORD_BITS = np.array(
+    [1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1, 0, 1, 1], dtype=np.uint8
+)
+
+_CRC_POLY = 0x1021
+_CRC_INIT = 0xFFFF
+
+#: Maximum payload the 16-bit length field admits.
+MAX_PAYLOAD_BYTES = 65_535
+
+
+def crc16_ccitt(data: bytes, init: int = _CRC_INIT) -> int:
+    """CRC-16/CCITT-FALSE over ``data``."""
+    crc = init
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ _CRC_POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """MSB-first bit expansion."""
+    if not data:
+        return np.zeros(0, dtype=np.uint8)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(arr)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Inverse of :func:`bytes_to_bits`; length must be a multiple of 8."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8:
+        raise ProtocolError(f"bit count {bits.size} is not a whole number of bytes")
+    return np.packbits(bits).tobytes()
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """Decoded frame metadata."""
+
+    payload_length: int
+    crc_ok: bool
+
+
+def encode_frame(payload: bytes) -> np.ndarray:
+    """sync(16) | length(16) | payload | crc16 as a bit vector."""
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"payload too long ({len(payload)} bytes)")
+    length_field = len(payload).to_bytes(2, "big")
+    crc = crc16_ccitt(length_field + payload).to_bytes(2, "big")
+    body_bits = bytes_to_bits(length_field + payload + crc)
+    return np.concatenate([SYNC_WORD_BITS, body_bits])
+
+
+def find_sync(bits: np.ndarray, max_errors: int = 1) -> int:
+    """Index right after the best sync-word match.
+
+    Tolerates up to ``max_errors`` bit flips inside the sync pattern so a
+    noisy first symbol doesn't lose the whole frame.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    n = SYNC_WORD_BITS.size
+    if bits.size < n:
+        raise ProtocolError("bit stream shorter than the sync word")
+    best_pos, best_err = -1, n + 1
+    limit = bits.size - n
+    for pos in range(limit + 1):
+        err = int(np.count_nonzero(bits[pos : pos + n] != SYNC_WORD_BITS))
+        if err < best_err:
+            best_pos, best_err = pos, err
+            if err == 0:
+                break
+    if best_err > max_errors:
+        raise ProtocolError(f"no sync word found (best match has {best_err} errors)")
+    return best_pos + n
+
+
+def decode_frame(bits: np.ndarray, max_sync_errors: int = 1) -> tuple[FrameHeader, bytes]:
+    """Parse a frame out of a received bit stream.
+
+    Returns the header (with CRC verdict) and the payload bytes. Raises
+    :class:`ProtocolError` when no sync is found or the stream truncates
+    mid-frame; CRC failures are *reported*, not raised, so callers can
+    count them as bit-error statistics.
+    """
+    start = find_sync(np.asarray(bits, dtype=np.uint8), max_sync_errors)
+    rest = np.asarray(bits[start:], dtype=np.uint8)
+    if rest.size < 16:
+        raise ProtocolError("frame truncated before length field")
+    length = int.from_bytes(bits_to_bytes(rest[:16]), "big")
+    need = 16 + 8 * length + 16
+    if rest.size < need:
+        raise ProtocolError(
+            f"frame truncated: need {need} bits after sync, have {rest.size}"
+        )
+    length_field = bits_to_bytes(rest[:16])
+    payload = bits_to_bytes(rest[16 : 16 + 8 * length])
+    crc_rx = int.from_bytes(bits_to_bytes(rest[16 + 8 * length : need]), "big")
+    crc_ok = crc16_ccitt(length_field + payload) == crc_rx
+    return FrameHeader(payload_length=length, crc_ok=crc_ok), payload

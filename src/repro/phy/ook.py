@@ -1,0 +1,45 @@
+"""Single-carrier on-off keying — the normal-incidence fallback (§6.2).
+
+When the node faces the AP squarely, the dual-port FSA's two alignment
+frequencies coincide (f_A = f_B), so OAQFM's two-tone alphabet collapses
+and both sides fall back to plain OOK on the single shared carrier at
+1 bit per symbol.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dsp.modulation import threshold_slice
+from repro.dsp.signal import Signal
+from repro.dsp.waveforms import ook_stream
+from repro.errors import ConfigurationError
+
+__all__ = ["ook_waveform", "decode_ook_levels"]
+
+
+def ook_waveform(
+    bits: Sequence[int],
+    carrier_hz: float,
+    symbol_rate_hz: float,
+    sample_rate_hz: float,
+    amplitude: float = 1.0,
+) -> Signal:
+    """OOK waveform at 1 bit/symbol on a single carrier."""
+    if symbol_rate_hz <= 0:
+        raise ConfigurationError("symbol rate must be positive")
+    return ook_stream(
+        list(bits),
+        carrier_hz,
+        1.0 / symbol_rate_hz,
+        sample_rate_hz,
+        amplitude,
+        center_frequency_hz=carrier_hz,
+    )
+
+
+def decode_ook_levels(levels: np.ndarray, threshold: float | None = None) -> np.ndarray:
+    """Slice integrated symbol levels into bits."""
+    return threshold_slice(levels, threshold)

@@ -1,0 +1,47 @@
+"""Additive (synchronous) scrambling.
+
+Long runs of identical bits are the envelope decoder's worst case: an
+all-zeros payload gives the threshold estimator a single cluster and the
+timing-recovery statistic nothing to lock to. XORing the frame with a
+known LFSR sequence whitens any payload; the same operation descrambles.
+Polynomial x⁷+x⁴+1 (the classic V.27/802.11-style choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["lfsr_sequence", "scramble", "descramble", "DEFAULT_SEED"]
+
+#: Non-zero 7-bit LFSR seed used across the stack.
+DEFAULT_SEED = 0b1011101
+
+
+def lfsr_sequence(n_bits: int, seed: int = DEFAULT_SEED) -> np.ndarray:
+    """First ``n_bits`` of the x⁷+x⁴+1 LFSR stream."""
+    if n_bits < 0:
+        raise ConfigurationError("n_bits must be non-negative")
+    if not 0 < seed < 128:
+        raise ConfigurationError("seed must be a non-zero 7-bit value")
+    state = seed
+    out = np.empty(n_bits, dtype=np.uint8)
+    for i in range(n_bits):
+        bit = ((state >> 6) ^ (state >> 3)) & 1
+        out[i] = bit
+        state = ((state << 1) | bit) & 0x7F
+    return out
+
+
+def scramble(bits, seed: int = DEFAULT_SEED) -> np.ndarray:
+    """XOR a bit stream with the LFSR sequence."""
+    bits = np.asarray(list(bits), dtype=np.uint8)
+    if np.any(bits > 1):
+        raise ConfigurationError("bits must be 0/1")
+    return bits ^ lfsr_sequence(bits.size, seed)
+
+
+def descramble(bits, seed: int = DEFAULT_SEED) -> np.ndarray:
+    """Inverse of :func:`scramble` (additive scrambling is an involution)."""
+    return scramble(bits, seed)

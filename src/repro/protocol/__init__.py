@@ -1,0 +1,31 @@
+"""Protocol layer: packets, link sessions, SDM MAC, event traces."""
+
+from repro.protocol.packet import Packet, PacketSchedule
+from repro.protocol.link import MilBackLink, SessionResult
+from repro.protocol.mac import SdmScheduler, SdmGroup
+from repro.protocol.events import Event, EventLog
+from repro.protocol.adaptation import UplinkRateAdapter, RateDecision
+from repro.protocol.discovery import BeamScanDiscovery, Detection
+from repro.protocol.arq import ReliableChannel, TransferResult, LinkStatistics
+from repro.protocol.inventory import SlottedInventory, InventoryResult, InventoryRound
+
+__all__ = [
+    "Packet",
+    "PacketSchedule",
+    "MilBackLink",
+    "SessionResult",
+    "SdmScheduler",
+    "SdmGroup",
+    "Event",
+    "EventLog",
+    "UplinkRateAdapter",
+    "RateDecision",
+    "BeamScanDiscovery",
+    "Detection",
+    "ReliableChannel",
+    "TransferResult",
+    "LinkStatistics",
+    "SlottedInventory",
+    "InventoryResult",
+    "InventoryRound",
+]

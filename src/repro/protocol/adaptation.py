@@ -1,0 +1,94 @@
+"""Uplink rate adaptation.
+
+The paper evaluates fixed 10 and 40 Mbps uplinks; a deployed AP should
+pick the fastest rate the measured SNR supports. The adapter uses the
+package's BER model plus the known noise-bandwidth scaling: moving from
+a measured reference rate to a candidate rate costs
+10·log10(candidate/reference) dB of SNR, so a single probe predicts the
+whole rate ladder.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.phy.ber import ook_matched_filter_ber, snr_for_target_ber
+
+__all__ = ["RateDecision", "UplinkRateAdapter"]
+
+#: The default ladder: the paper's two evaluated rates plus the
+#: switch-feasible steps up to the 160 Mbps ceiling.
+DEFAULT_RATE_LADDER_BPS = (10e6, 20e6, 40e6, 80e6, 160e6)
+
+
+@dataclass(frozen=True)
+class RateDecision:
+    """Outcome of one adaptation step."""
+
+    rate_bps: float
+    predicted_snr_db: float
+    predicted_ber: float
+
+
+class UplinkRateAdapter:
+    """Pick the fastest rate whose predicted BER beats the target."""
+
+    def __init__(
+        self,
+        target_ber: float = 1e-6,
+        rate_ladder_bps: tuple[float, ...] = DEFAULT_RATE_LADDER_BPS,
+        margin_db: float = 1.0,
+    ) -> None:
+        if not 0 < target_ber < 0.5:
+            raise ConfigurationError("target BER must be in (0, 0.5)")
+        if not rate_ladder_bps:
+            raise ConfigurationError("rate ladder must not be empty")
+        if any(r <= 0 for r in rate_ladder_bps):
+            raise ConfigurationError("rates must be positive")
+        if margin_db < 0:
+            raise ConfigurationError("margin must be non-negative")
+        self.target_ber = target_ber
+        self.rate_ladder_bps = tuple(sorted(rate_ladder_bps))
+        self.margin_db = margin_db
+        self._required_snr_db = snr_for_target_ber(target_ber) + margin_db
+
+    def predicted_snr_db(
+        self,
+        measured_snr_db: float,
+        measured_rate_bps: float,
+        candidate_rate_bps: float,
+    ) -> float:
+        """Scale a measured SNR to a candidate rate's noise bandwidth."""
+        if measured_rate_bps <= 0 or candidate_rate_bps <= 0:
+            raise ConfigurationError("rates must be positive")
+        return measured_snr_db - 10.0 * math.log10(
+            candidate_rate_bps / measured_rate_bps
+        )
+
+    def choose_rate(
+        self,
+        measured_snr_db: float,
+        measured_rate_bps: float,
+        max_rate_bps: float = 160e6,
+    ) -> RateDecision:
+        """The fastest ladder rate (≤ hardware ceiling) meeting the target.
+
+        Falls back to the slowest rate when nothing meets the target —
+        a link this bad should still try, at maximum robustness.
+        """
+        feasible = [r for r in self.rate_ladder_bps if r <= max_rate_bps]
+        if not feasible:
+            raise ConfigurationError("no ladder rate below the hardware ceiling")
+        best = feasible[0]
+        for rate in feasible:
+            predicted = self.predicted_snr_db(measured_snr_db, measured_rate_bps, rate)
+            if predicted >= self._required_snr_db:
+                best = rate
+        snr = self.predicted_snr_db(measured_snr_db, measured_rate_bps, best)
+        return RateDecision(
+            rate_bps=best,
+            predicted_snr_db=snr,
+            predicted_ber=float(ook_matched_filter_ber(snr)),
+        )

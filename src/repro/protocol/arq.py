@@ -1,0 +1,110 @@
+"""Stop-and-wait ARQ over MilBack sessions.
+
+The paper's links are raw bursts; a deployed stack retries failures.
+This is classic stop-and-wait: send, await a CRC-verified acknowledgment
+on the reverse link, retry on either failure. Because MilBack's reverse
+link is nearly free for the node (the ACK rides the same preamble
+machinery), stop-and-wait is the natural fit at these packet sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.node.firmware import PayloadDirection
+from repro.protocol.link import MilBackLink
+
+__all__ = ["TransferResult", "LinkStatistics", "ReliableChannel"]
+
+#: The acknowledgment payload (CRC-protected like any frame).
+ACK_PAYLOAD = b"\x06ACK"
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one reliable transfer."""
+
+    delivered: bool
+    attempts: int
+    air_time_s: float
+    payload: bytes
+
+
+@dataclass
+class LinkStatistics:
+    """Running counters over a channel's lifetime."""
+
+    transfers: int = 0
+    delivered: int = 0
+    attempts: int = 0
+    data_failures: int = 0
+    ack_failures: int = 0
+    air_time_s: float = 0.0
+
+    def delivery_ratio(self) -> float:
+        """Delivered transfers over attempted transfers."""
+        return self.delivered / self.transfers if self.transfers else 0.0
+
+    def mean_attempts(self) -> float:
+        """Average attempts per transfer."""
+        return self.attempts / self.transfers if self.transfers else 0.0
+
+
+class ReliableChannel:
+    """Retrying transfer service over one MilBack link."""
+
+    def __init__(self, link: MilBackLink, max_attempts: int = 4) -> None:
+        if max_attempts < 1:
+            raise ProtocolError("need at least one attempt")
+        self.link = link
+        self.max_attempts = max_attempts
+        self.stats = LinkStatistics()
+
+    def send_reliable(
+        self,
+        payload: bytes,
+        direction: PayloadDirection = PayloadDirection.UPLINK,
+        bit_rate_bps: float = 10e6,
+        ack_bit_rate_bps: float = 2e6,
+    ) -> TransferResult:
+        """Transfer ``payload`` with retries until data AND ack succeed."""
+        if not payload:
+            raise ProtocolError("payload must be non-empty")
+        self.stats.transfers += 1
+        air_time = 0.0
+        for attempt in range(1, self.max_attempts + 1):
+            self.stats.attempts += 1
+            try:
+                if direction is PayloadDirection.UPLINK:
+                    data = self.link.receive_from_node(payload, bit_rate_bps)
+                else:
+                    data = self.link.send_to_node(payload, bit_rate_bps)
+            except ProtocolError:
+                # The node never heard the preamble (out of range /
+                # blocked): no response at all — a failed attempt.
+                self.stats.data_failures += 1
+                continue
+            air_time += data.air_time_s
+            if not data.delivered:
+                self.stats.data_failures += 1
+                continue
+            try:
+                ack = self._send_ack(direction, ack_bit_rate_bps)
+            except ProtocolError:
+                self.stats.ack_failures += 1
+                continue
+            air_time += ack.air_time_s
+            if ack.delivered:
+                self.stats.delivered += 1
+                self.stats.air_time_s += air_time
+                return TransferResult(True, attempt, air_time, payload)
+            self.stats.ack_failures += 1
+        self.stats.air_time_s += air_time
+        return TransferResult(False, self.max_attempts, air_time, payload)
+
+    def _send_ack(self, data_direction: PayloadDirection, bit_rate_bps: float):
+        """The ACK travels opposite to the data."""
+        if data_direction is PayloadDirection.UPLINK:
+            return self.link.send_to_node(ACK_PAYLOAD, bit_rate_bps)
+        return self.link.receive_from_node(ACK_PAYLOAD, bit_rate_bps)

@@ -1,0 +1,67 @@
+"""Protocol event tracing.
+
+Every step of a link session is logged with a simulated timestamp so
+examples and tests can assert on — and humans can read — exactly what
+happened on the air.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One protocol event."""
+
+    time_s: float
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        pieces = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time_s * 1e3:9.4f} ms] {self.kind}({pieces})"
+
+
+class EventLog:
+    """Append-only event trace with a running clock."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._clock_s = 0.0
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time."""
+        return self._clock_s
+
+    def advance(self, duration_s: float) -> None:
+        """Move the clock forward (air time of a phase)."""
+        if duration_s < 0:
+            raise ValueError("cannot advance time backwards")
+        self._clock_s += duration_s
+
+    def record(self, kind: str, **detail: Any) -> Event:
+        """Log an event at the current time."""
+        event = Event(self._clock_s, kind, dict(detail))
+        self._events.append(event)
+        return event
+
+    def events(self, kind: str | None = None) -> list[Event]:
+        """All events, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def render(self) -> str:
+        """Human-readable trace."""
+        return "\n".join(str(e) for e in self._events)

@@ -1,0 +1,89 @@
+"""MilBack packet structure (paper §7, Fig. 8).
+
+A packet is: preamble Field 1 (triangular chirps — node orientation +
+direction announcement), preamble Field 2 (five sawtooth chirps — AP
+localization), then the payload (OAQFM uplink or downlink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    FIELD1_CHIRP_DURATION_S,
+    FIELD2_CHIRP_DURATION_S,
+    FIELD2_NUM_CHIRPS,
+)
+from repro.errors import ProtocolError
+from repro.node.firmware import PayloadDirection
+
+__all__ = ["PacketSchedule", "Packet"]
+
+
+@dataclass(frozen=True)
+class PacketSchedule:
+    """Timing layout of one packet on the air."""
+
+    #: Field 1 always spans three chirp slots (the downlink announcement
+    #: leaves the middle slot silent).
+    field1_slots: int = 3
+    field1_chirp_duration_s: float = FIELD1_CHIRP_DURATION_S
+    field2_chirps: int = FIELD2_NUM_CHIRPS
+    field2_chirp_interval_s: float = 50e-6
+    field2_chirp_duration_s: float = FIELD2_CHIRP_DURATION_S
+
+    @property
+    def field1_duration_s(self) -> float:
+        """Duration of Field 1 [s]."""
+        return self.field1_slots * self.field1_chirp_duration_s
+
+    @property
+    def field2_duration_s(self) -> float:
+        """Duration of Field 2 [s]."""
+        return self.field2_chirps * self.field2_chirp_interval_s
+
+    @property
+    def preamble_duration_s(self) -> float:
+        """Total preamble duration [s]."""
+        return self.field1_duration_s + self.field2_duration_s
+
+    def payload_duration_s(self, n_payload_bits: int, bit_rate_bps: float) -> float:
+        """Air time of the payload at a given rate."""
+        if bit_rate_bps <= 0:
+            raise ProtocolError("bit rate must be positive")
+        return n_payload_bits / bit_rate_bps
+
+    def packet_duration_s(self, n_payload_bits: int, bit_rate_bps: float) -> float:
+        """Total packet air time."""
+        return self.preamble_duration_s + self.payload_duration_s(
+            n_payload_bits, bit_rate_bps
+        )
+
+    def goodput_bps(self, n_payload_bits: int, bit_rate_bps: float) -> float:
+        """Payload bits over total packet time — the preamble tax."""
+        return n_payload_bits / self.packet_duration_s(n_payload_bits, bit_rate_bps)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One logical MilBack packet."""
+
+    direction: PayloadDirection
+    payload: bytes
+    bit_rate_bps: float
+    schedule: PacketSchedule = PacketSchedule()
+
+    def __post_init__(self) -> None:
+        if not self.payload:
+            raise ProtocolError("packet must carry a payload")
+        if self.bit_rate_bps <= 0:
+            raise ProtocolError("bit rate must be positive")
+
+    @property
+    def n_payload_bits(self) -> int:
+        """Payload length in bits (before framing overhead)."""
+        return 8 * len(self.payload)
+
+    def duration_s(self) -> float:
+        """Packet air time including preamble."""
+        return self.schedule.packet_duration_s(self.n_payload_bits, self.bit_rate_bps)

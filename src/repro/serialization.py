@@ -1,0 +1,217 @@
+"""Configuration serialization: deployment files for nodes, APs and
+calibration.
+
+A fleet operator wants node/AP/calibration configurations in version
+control, not in Python constructors. This module round-trips the
+configuration dataclasses through plain dicts (JSON-ready): every value
+is a number, string, bool, or nested dict, and ``from_dict`` validates
+through the same dataclass ``__post_init__`` checks as the constructors.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.antennas.fixed import HornAntenna
+from repro.antennas.fsa import FsaDesign
+from repro.ap.config import ApConfig
+from repro.dsp.waveforms import SawtoothChirp, TriangularChirp
+from repro.errors import ConfigurationError
+from repro.hardware.adc import Adc
+from repro.hardware.envelope_detector import EnvelopeDetector
+from repro.hardware.mcu import Microcontroller
+from repro.hardware.switch import SpdtSwitch, SwitchState
+from repro.node.config import NodeConfig
+from repro.sim.calibration import Calibration
+
+__all__ = [
+    "calibration_to_dict",
+    "calibration_from_dict",
+    "node_config_to_dict",
+    "node_config_from_dict",
+    "ap_config_to_dict",
+    "ap_config_from_dict",
+    "save_json",
+    "load_json",
+]
+
+
+# --- calibration (flat, frozen) -------------------------------------------------
+
+
+def calibration_to_dict(calibration: Calibration) -> dict[str, float]:
+    """All calibration constants as a flat dict."""
+    return dict(vars(calibration))
+
+
+def calibration_from_dict(data: dict[str, Any]) -> Calibration:
+    """Rebuild a Calibration; unknown keys are rejected loudly."""
+    known = set(Calibration.__dataclass_fields__)
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(f"unknown calibration keys: {sorted(unknown)}")
+    return Calibration(**data)
+
+
+# --- node configuration (nested) --------------------------------------------------
+
+
+def _switch_to_dict(switch: SpdtSwitch) -> dict[str, Any]:
+    return {
+        "insertion_loss_db": switch.insertion_loss_db,
+        "isolation_db": switch.isolation_db,
+        "max_toggle_rate_hz": switch.max_toggle_rate_hz,
+        "static_power_w": switch.static_power_w,
+        "toggle_energy_j": switch.toggle_energy_j,
+        "state": switch.state.value,
+    }
+
+
+def _switch_from_dict(data: dict[str, Any]) -> SpdtSwitch:
+    state = SwitchState(data.pop("state", SwitchState.ABSORB.value))
+    switch = SpdtSwitch(**data)
+    switch.set_state(state)
+    return switch
+
+
+def _detector_to_dict(detector: EnvelopeDetector) -> dict[str, Any]:
+    return {
+        "responsivity_v_per_sqrt_w": detector.responsivity_v_per_sqrt_w,
+        "video_bandwidth_hz": detector.video_bandwidth_hz,
+        "output_noise_v_per_rt_hz": detector.output_noise_v_per_rt_hz,
+        "input_impedance_ohm": detector.input_impedance_ohm,
+        "power_draw_w": detector.power_draw_w,
+    }
+
+
+def _mcu_to_dict(mcu: Microcontroller) -> dict[str, Any]:
+    return {
+        "adc": {
+            "sample_rate_hz": mcu.adc.sample_rate_hz,
+            "n_bits": mcu.adc.n_bits,
+            "full_scale_v": mcu.adc.full_scale_v,
+        },
+        "max_gpio_toggle_rate_hz": mcu.max_gpio_toggle_rate_hz,
+        "active_power_w": mcu.active_power_w,
+    }
+
+
+def _mcu_from_dict(data: dict[str, Any]) -> Microcontroller:
+    adc = Adc(**data.pop("adc"))
+    return Microcontroller(adc=adc, **data)
+
+
+def _fsa_to_dict(design: FsaDesign) -> dict[str, Any]:
+    return {
+        "n_elements": design.n_elements,
+        "element_spacing_m": design.element_spacing_m,
+        "feed_length_m": design.feed_length_m,
+        "eps_eff": design.eps_eff,
+        "space_harmonic": design.space_harmonic,
+        "peak_gain_dbi": design.peak_gain_dbi,
+        "feed_loss_np_per_m": design.feed_loss_np_per_m,
+        "element_taper": design.element_taper,
+    }
+
+
+def node_config_to_dict(config: NodeConfig) -> dict[str, Any]:
+    """Full node bill-of-materials as a nested dict."""
+    return {
+        "node_id": config.node_id,
+        "fsa_design": _fsa_to_dict(config.fsa_design),
+        "switch_a": _switch_to_dict(config.switch_a),
+        "switch_b": _switch_to_dict(config.switch_b),
+        "detector_a": _detector_to_dict(config.detector_a),
+        "detector_b": _detector_to_dict(config.detector_b),
+        "mcu": _mcu_to_dict(config.mcu),
+    }
+
+
+def node_config_from_dict(data: dict[str, Any]) -> NodeConfig:
+    """Rebuild a NodeConfig from :func:`node_config_to_dict` output."""
+    try:
+        return NodeConfig(
+            node_id=data["node_id"],
+            fsa_design=FsaDesign(**data["fsa_design"]),
+            switch_a=_switch_from_dict(dict(data["switch_a"])),
+            switch_b=_switch_from_dict(dict(data["switch_b"])),
+            detector_a=EnvelopeDetector(**data["detector_a"]),
+            detector_b=EnvelopeDetector(**data["detector_b"]),
+            mcu=_mcu_from_dict(dict(data["mcu"])),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(f"node config missing section {missing}") from None
+
+
+# --- AP configuration ------------------------------------------------------------
+
+
+def _horn_to_dict(horn: HornAntenna) -> dict[str, Any]:
+    return {
+        "peak_gain_dbi": horn.peak_gain_dbi,
+        "beamwidth_deg": horn.beamwidth_deg,
+        "sidelobe_floor_dbi": horn.sidelobe_floor_dbi,
+    }
+
+
+def ap_config_to_dict(config: ApConfig) -> dict[str, Any]:
+    """The AP's deployment-relevant parameters as a nested dict.
+
+    Instrument internals (PA/LNA/mixer/generator) keep their defaults on
+    reload; what a site survey actually varies — powers, antennas, chirp
+    plans, timing — round-trips.
+    """
+    return {
+        "tx_power_dbm": config.tx_power_dbm,
+        "tx_horn": _horn_to_dict(config.tx_horn),
+        "rx_horn": _horn_to_dict(config.rx_horn),
+        "ranging_chirp": {
+            "start_hz": config.ranging_chirp.start_hz,
+            "stop_hz": config.ranging_chirp.stop_hz,
+            "duration_s": config.ranging_chirp.duration_s,
+        },
+        "field1_chirp": {
+            "start_hz": config.field1_chirp.start_hz,
+            "stop_hz": config.field1_chirp.stop_hz,
+            "duration_s": config.field1_chirp.duration_s,
+        },
+        "n_ranging_chirps": config.n_ranging_chirps,
+        "rx_baseline_m": config.rx_baseline_m,
+        "chirp_repetition_interval_s": config.chirp_repetition_interval_s,
+        "beat_sample_rate_hz": config.beat_sample_rate_hz,
+    }
+
+
+def ap_config_from_dict(data: dict[str, Any]) -> ApConfig:
+    """Rebuild an ApConfig from :func:`ap_config_to_dict` output."""
+    try:
+        return ApConfig(
+            tx_power_dbm=data["tx_power_dbm"],
+            tx_horn=HornAntenna(**data["tx_horn"]),
+            rx_horn=HornAntenna(**data["rx_horn"]),
+            ranging_chirp=SawtoothChirp(**data["ranging_chirp"]),
+            field1_chirp=TriangularChirp(**data["field1_chirp"]),
+            n_ranging_chirps=data["n_ranging_chirps"],
+            rx_baseline_m=data["rx_baseline_m"],
+            chirp_repetition_interval_s=data["chirp_repetition_interval_s"],
+            beat_sample_rate_hz=data["beat_sample_rate_hz"],
+        )
+    except KeyError as missing:
+        raise ConfigurationError(f"AP config missing section {missing}") from None
+
+
+# --- JSON convenience ---------------------------------------------------------------
+
+
+def save_json(data: dict[str, Any], path: str) -> None:
+    """Write a configuration dict as pretty JSON."""
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> dict[str, Any]:
+    """Read a configuration dict from JSON."""
+    with open(path) as handle:
+        return json.load(handle)

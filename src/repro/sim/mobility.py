@@ -1,0 +1,155 @@
+"""Mobile-session simulation: a moving node under time-varying blockage.
+
+Steps a trajectory at the protocol's packet cadence; at each step the
+node's current pose becomes a static scene (quasi-static fading: packet
+air time ≪ motion timescales), any active blockage inflates the link's
+path loss, and one localization + one uplink burst run. The output is a
+time series with outage bookkeeping — the "walking VR user" workload
+the paper motivates but could not evaluate on a cabled testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.channel.mobility import BlockageModel, WaypointTrajectory
+from repro.channel.multipath import default_indoor_clutter
+from repro.channel.scene import NodePlacement, Scene2D
+from repro.errors import ConfigurationError, LocalizationError
+from repro.sim.calibration import Calibration, default_calibration
+from repro.sim.engine import MilBackSimulator
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = ["MobileStep", "MobileSessionResult", "MobileSessionSimulator"]
+
+
+@dataclass(frozen=True)
+class MobileStep:
+    """One packet-time snapshot of the mobile link."""
+
+    time_s: float
+    distance_true_m: float
+    distance_est_m: float | None
+    uplink_snr_db: float | None
+    uplink_ber: float | None
+    blockage_loss_db: float
+    in_outage: bool
+
+
+@dataclass(frozen=True)
+class MobileSessionResult:
+    """The full time series plus summary statistics."""
+
+    steps: tuple[MobileStep, ...]
+
+    def outage_fraction(self) -> float:
+        """Fraction of steps in outage."""
+        if not self.steps:
+            return 0.0
+        return sum(s.in_outage for s in self.steps) / len(self.steps)
+
+    def mean_snr_db(self) -> float:
+        """Mean uplink SNR over non-outage steps."""
+        values = [s.uplink_snr_db for s in self.steps if s.uplink_snr_db is not None]
+        if not values:
+            raise ConfigurationError("no successful steps")
+        return float(np.mean(values))
+
+    def worst_tracking_error_m(self) -> float:
+        """Largest ranging error among successful fixes."""
+        errors = [
+            abs(s.distance_est_m - s.distance_true_m)
+            for s in self.steps
+            if s.distance_est_m is not None
+        ]
+        if not errors:
+            raise ConfigurationError("no successful fixes")
+        return max(errors)
+
+
+class MobileSessionSimulator:
+    """Runs a packet-cadence session along a trajectory."""
+
+    def __init__(
+        self,
+        trajectory: WaypointTrajectory,
+        blockage: BlockageModel | None = None,
+        calibration: Calibration | None = None,
+        with_clutter: bool = True,
+        outage_snr_db: float = 5.0,
+        seed: RngLike = None,
+    ) -> None:
+        self.trajectory = trajectory
+        self.blockage = blockage or BlockageModel()
+        self.calibration = calibration or default_calibration()
+        self.with_clutter = with_clutter
+        self.outage_snr_db = outage_snr_db
+        self.rng = make_rng(seed)
+
+    def run(
+        self,
+        step_s: float = 0.1,
+        bit_rate_bps: float = 10e6,
+        n_bits: int = 128,
+    ) -> MobileSessionResult:
+        """Step the whole trajectory; one fix + one uplink per step."""
+        if step_s <= 0:
+            raise ConfigurationError("step must be positive")
+        steps: list[MobileStep] = []
+        t = self.trajectory.start_time_s
+        while t <= self.trajectory.end_time_s + 1e-9:
+            steps.append(self._one_step(t, bit_rate_bps, n_bits))
+            t += step_s
+        return MobileSessionResult(tuple(steps))
+
+    # --- internals -----------------------------------------------------------------
+
+    def _one_step(self, t: float, bit_rate_bps: float, n_bits: int) -> MobileStep:
+        pose = self.trajectory.pose_at(t)
+        clutter = tuple(default_indoor_clutter()) if self.with_clutter else ()
+        scene = Scene2D(nodes=(NodePlacement(pose, "mobile"),), clutter=clutter)
+        loss = self.blockage.loss_db_at(t)
+        calibration = replace(
+            self.calibration,
+            downlink_implementation_loss_db=(
+                self.calibration.downlink_implementation_loss_db + loss
+            ),
+            # The backscatter path crosses the obstruction twice.
+            uplink_implementation_loss_db=(
+                self.calibration.uplink_implementation_loss_db + 2.0 * loss
+            ),
+        )
+        sim = MilBackSimulator(scene, calibration=calibration, seed=self.rng)
+        distance_true = scene.node_distance_m()
+
+        distance_est: float | None
+        try:
+            fix = sim.simulate_localization()
+            distance_est = fix.distance_est_m
+            # A fix that lands on clutter instead of the node is an outage
+            # symptom, not a valid estimate.
+            if abs(fix.distance_error_m) > 1.0:
+                distance_est = None
+        except LocalizationError:
+            distance_est = None
+
+        bits = self.rng.integers(0, 2, n_bits)
+        uplink = sim.simulate_uplink(bits, bit_rate_bps)
+        snr = uplink.snr_db
+        snr_valid = snr == snr  # not NaN
+        in_outage = (
+            distance_est is None
+            or not snr_valid
+            or snr < self.outage_snr_db
+        )
+        return MobileStep(
+            time_s=t,
+            distance_true_m=distance_true,
+            distance_est_m=distance_est,
+            uplink_snr_db=float(snr) if snr_valid else None,
+            uplink_ber=uplink.ber,
+            blockage_loss_db=loss,
+            in_outage=in_outage,
+        )

@@ -1,0 +1,9 @@
+"""Trajectory tracking on top of MilBack localization fixes."""
+
+from repro.tracking.kalman import (
+    ConstantVelocityTracker,
+    TrackState,
+    polar_to_cartesian_covariance,
+)
+
+__all__ = ["ConstantVelocityTracker", "TrackState", "polar_to_cartesian_covariance"]

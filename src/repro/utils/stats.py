@@ -1,0 +1,147 @@
+"""Statistics helpers for experiment result reporting.
+
+The paper reports mean, variance, 90th-percentile and CDFs of estimation
+errors; this module provides those summaries in one place so every
+experiment formats results identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "RunningStats",
+    "empirical_cdf",
+    "percentile",
+    "summarize_errors",
+    "ErrorSummary",
+]
+
+
+class RunningStats:
+    """Welford's online mean/variance accumulator.
+
+    Used by long sweeps so trial results never need to be held in memory
+    all at once.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def push(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many observations."""
+        for value in values:
+            self.push(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations pushed."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with <2 observations)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation."""
+        if not self._count:
+            raise ValueError("no observations")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation."""
+        if not self._count:
+            raise ValueError("no observations")
+        return self._max
+
+
+def empirical_cdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_probabilities)``.
+
+    Probabilities are ``i/n`` for the i-th order statistic, matching the
+    step-CDF plots in the paper's Figure 12b.
+    """
+    values = np.sort(np.asarray(values, dtype=float))
+    if values.size == 0:
+        raise ValueError("empirical_cdf of empty sequence")
+    probs = np.arange(1, values.size + 1) / values.size
+    return values, probs
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) using linear interpolation."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Summary statistics of a set of absolute estimation errors."""
+
+    count: int
+    mean: float
+    std: float
+    median: float
+    p90: float
+    maximum: float
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict, convenient for table rendering."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "median": self.median,
+            "p90": self.p90,
+            "max": self.maximum,
+        }
+
+
+def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Summarize absolute errors the way the paper's figures report them
+    (mean, spread, 90th percentile)."""
+    arr = np.abs(np.asarray(errors, dtype=float))
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty error sequence")
+    return ErrorSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        median=float(np.median(arr)),
+        p90=percentile(arr, 90.0),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,33 @@
+"""Shared fixtures for the MilBack reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.scene import Scene2D
+from repro.sim.engine import MilBackSimulator
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for test inputs."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def simple_scene():
+    """One node, 3 m away, 10 deg orientation, with default clutter."""
+    return Scene2D.single_node(3.0, orientation_deg=10.0)
+
+
+@pytest.fixture
+def clean_scene():
+    """One node, 2 m away, no clutter (anechoic)."""
+    return Scene2D.single_node(2.0, orientation_deg=10.0, with_clutter=False)
+
+
+@pytest.fixture
+def simulator(simple_scene):
+    """A seeded simulator on the simple scene."""
+    return MilBackSimulator(simple_scene, seed=7)

@@ -1,0 +1,130 @@
+"""Antenna model tests: horns, phased array, Van Atta."""
+
+import numpy as np
+import pytest
+
+from repro.antennas.array import (
+    UniformLinearArray,
+    aoa_from_phase_deg,
+    aoa_phase_rad,
+)
+from repro.antennas.base import gain_amplitude
+from repro.antennas.fixed import HornAntenna, IsotropicAntenna
+from repro.antennas.van_atta import VanAttaArray
+from repro.errors import ConfigurationError
+
+
+class TestIsotropic:
+    def test_constant_gain(self):
+        a = IsotropicAntenna()
+        assert a.gain_dbi(0.0, 28e9) == 0.0
+        assert a.gain_dbi(137.0, 60e9) == 0.0
+
+    def test_array_input(self):
+        a = IsotropicAntenna(3.0)
+        out = a.gain_dbi(np.array([0.0, 10.0]), 28e9)
+        assert np.allclose(out, 3.0)
+
+
+class TestHorn:
+    def test_peak_on_boresight(self):
+        horn = HornAntenna(20.0)
+        assert horn.gain_dbi(0.0, 28e9) == pytest.approx(20.0)
+
+    def test_3db_beamwidth(self):
+        horn = HornAntenna(20.0)
+        bw = horn.effective_beamwidth_deg
+        assert horn.gain_dbi(bw / 2, 28e9) == pytest.approx(17.0, abs=0.1)
+
+    def test_default_beamwidth_from_gain(self):
+        # sqrt(41000/100) = 20.2 deg at 20 dBi.
+        assert HornAntenna(20.0).effective_beamwidth_deg == pytest.approx(20.25, abs=0.1)
+
+    def test_sidelobe_floor(self):
+        horn = HornAntenna(20.0, sidelobe_floor_dbi=-10.0)
+        assert horn.gain_dbi(90.0, 28e9) == -10.0
+
+    def test_symmetry(self):
+        horn = HornAntenna(20.0)
+        assert horn.gain_dbi(7.0, 28e9) == pytest.approx(horn.gain_dbi(-7.0, 28e9))
+
+    def test_invalid_beamwidth_raises(self):
+        with pytest.raises(ConfigurationError):
+            HornAntenna(20.0, beamwidth_deg=-1.0)
+
+    def test_gain_amplitude_helper(self):
+        horn = HornAntenna(20.0)
+        assert gain_amplitude(horn, 0.0, 28e9) == pytest.approx(10.0)
+
+
+class TestUniformLinearArray:
+    def test_peak_gain(self):
+        ula = UniformLinearArray(n_elements=8, element_gain_dbi=5.0)
+        assert ula.peak_gain_dbi() == pytest.approx(5.0 + 10 * np.log10(8))
+
+    def test_broadside_peak(self):
+        ula = UniformLinearArray()
+        assert float(ula.gain_dbi(0.0, 28e9)) == pytest.approx(ula.peak_gain_dbi(), abs=0.1)
+
+    def test_steering_moves_peak(self):
+        ula = UniformLinearArray().steered_to(20.0)
+        g_at_20 = float(ula.gain_dbi(20.0, 28e9))
+        g_at_0 = float(ula.gain_dbi(0.0, 28e9))
+        assert g_at_20 > g_at_0
+
+    def test_rejects_zero_elements(self):
+        with pytest.raises(ConfigurationError):
+            UniformLinearArray(n_elements=0)
+
+
+class TestAoaPhase:
+    def test_boresight_zero_phase(self):
+        assert aoa_phase_rad(0.0, 5.35e-3, 28e9) == pytest.approx(0.0)
+
+    def test_half_wavelength_at_90deg_is_pi(self):
+        lam = 299792458.0 / 28e9
+        assert aoa_phase_rad(90.0, lam / 2, 28e9) == pytest.approx(np.pi)
+
+    @pytest.mark.parametrize("angle", [-60.0, -17.0, 0.0, 5.0, 45.0])
+    def test_roundtrip(self, angle):
+        lam = 299792458.0 / 28e9
+        phase = aoa_phase_rad(angle, lam / 2, 28e9)
+        assert aoa_from_phase_deg(phase, lam / 2, 28e9) == pytest.approx(angle)
+
+    def test_impossible_phase_raises(self):
+        with pytest.raises(ConfigurationError):
+            aoa_from_phase_deg(3.0, 1e-3, 28e9)
+
+
+class TestVanAtta:
+    def test_retro_gain_at_normal(self):
+        array = VanAttaArray(n_elements=16, element_gain_dbi=5.0, trace_loss_db=2.0)
+        expected = 2 * (5.0 + 10 * np.log10(16)) - 2.0
+        assert float(array.retro_gain_dbi(0.0, 28e9)) == pytest.approx(expected)
+
+    def test_gain_falls_with_incidence(self):
+        array = VanAttaArray()
+        assert float(array.retro_gain_dbi(40.0, 28e9)) < float(
+            array.retro_gain_dbi(0.0, 28e9)
+        )
+
+    def test_outside_fov_strongly_suppressed(self):
+        array = VanAttaArray(field_of_view_deg=90.0)
+        assert float(array.retro_gain_dbi(80.0, 28e9)) == -30.0
+
+    def test_wide_retro_coverage_vs_fsa(self):
+        # The Van Atta's key property: strong response over a wide range
+        # of incidence angles without any beam selection.
+        array = VanAttaArray()
+        g0 = float(array.retro_gain_dbi(0.0, 28e9))
+        g30 = float(array.retro_gain_dbi(30.0, 28e9))
+        assert g30 > g0 - 3.0
+
+    def test_odd_elements_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VanAttaArray(n_elements=15)
+
+    def test_beamwidth_shrinks_with_aperture(self):
+        small = VanAttaArray(n_elements=8)
+        large = VanAttaArray(n_elements=32)
+        assert large.beamwidth_deg(28e9) < small.beamwidth_deg(28e9)

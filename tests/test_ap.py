@@ -1,0 +1,237 @@
+"""AP-side tests: config, FMCW processor, AoA, uplink RX, downlink TX."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.antennas.array import aoa_phase_rad
+from repro.antennas.dual_port_fsa import TonePair
+from repro.ap.access_point import AccessPoint
+from repro.ap.aoa import AoaEstimator
+from repro.ap.config import ApConfig
+from repro.ap.downlink_tx import DownlinkTransmitter
+from repro.ap.fmcw import FmcwProcessor
+from repro.ap.uplink_rx import PILOT_SYMBOLS, UplinkReceiver, pilot_bits
+from repro.constants import SPEED_OF_LIGHT
+from repro.dsp.signal import Signal
+from repro.dsp.waveforms import SawtoothChirp
+from repro.errors import ConfigurationError, DecodingError, LocalizationError
+
+
+def synth_beat_records(
+    distances_amps,
+    n_chirps=5,
+    fs=40e6,
+    chirp=None,
+    modulated_flags=None,
+    noise=1e-9,
+    rx_phase=0.0,
+    seed=0,
+):
+    """Synthetic dechirped records: tones at beat(d) with given amplitudes.
+
+    ``modulated_flags[i]`` makes path i toggle per chirp (node-like).
+    """
+    chirp = chirp or SawtoothChirp()
+    proc = FmcwProcessor(chirp)
+    n = int(round(chirp.duration_s * fs))
+    t = np.arange(n) / fs
+    rng = np.random.default_rng(seed)
+    modulated_flags = modulated_flags or [False] * len(distances_amps)
+    records = []
+    for k in range(n_chirps):
+        samples = np.zeros(n, dtype=complex)
+        for (d, amp), modulated in zip(distances_amps, modulated_flags):
+            beat = proc.distance_to_beat_hz(d)
+            factor = 1.0 if (not modulated or k % 2 == 0) else 0.03
+            samples += factor * amp * np.exp(
+                1j * (2 * np.pi * beat * t + rx_phase)
+            )
+        samples += noise * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+        records.append(Signal(samples, fs, 0.0, k * 50e-6))
+    return records
+
+
+class TestApConfig:
+    def test_defaults_valid(self):
+        cfg = ApConfig()
+        assert cfg.n_ranging_chirps == 5
+
+    def test_rx_baseline_is_half_wavelength(self):
+        cfg = ApConfig()
+        lam = SPEED_OF_LIGHT / 28e9
+        assert cfg.rx_baseline_m == pytest.approx(lam / 2, rel=0.01)
+
+    def test_repetition_interval_validated(self):
+        with pytest.raises(ConfigurationError):
+            ApConfig(chirp_repetition_interval_s=1e-6)
+
+    def test_too_few_chirps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApConfig(n_ranging_chirps=2)
+
+    def test_max_unambiguous_range(self):
+        cfg = ApConfig()
+        # 20 MHz Nyquist beat at slope 3 GHz/18 us -> 18 m.
+        assert cfg.max_unambiguous_range_m() == pytest.approx(18.0, rel=0.01)
+
+
+class TestFmcwProcessor:
+    def test_beat_distance_roundtrip(self):
+        proc = FmcwProcessor()
+        assert proc.beat_to_distance_m(proc.distance_to_beat_hz(6.5)) == pytest.approx(6.5)
+
+    def test_background_subtraction_removes_static(self):
+        records = synth_beat_records(
+            [(3.0, 1e-4), (9.0, 1e-2)], modulated_flags=[True, False]
+        )
+        proc = FmcwProcessor()
+        est = proc.estimate_range(records)
+        # The static 9 m path is 40 dB stronger but cancels; the weak
+        # modulated 3 m path wins.
+        assert est.distance_m == pytest.approx(3.0, abs=0.05)
+
+    def test_without_subtraction_static_dominates(self):
+        from repro.dsp.fftutils import interpolated_peak
+
+        records = synth_beat_records(
+            [(3.0, 1e-4), (9.0, 1e-2)], modulated_flags=[True, False]
+        )
+        proc = FmcwProcessor()
+        spec = proc.chirp_spectra(records)[0]
+        peak = interpolated_peak(spec, min_hz=proc.distance_to_beat_hz(0.5))
+        assert proc.beat_to_distance_m(peak.frequency_hz) == pytest.approx(9.0, abs=0.1)
+
+    def test_single_chirp_rejected(self):
+        records = synth_beat_records([(3.0, 1.0)], n_chirps=1)
+        with pytest.raises(LocalizationError):
+            FmcwProcessor().estimate_range(records)
+
+    def test_mismatched_lengths_rejected(self):
+        records = synth_beat_records([(3.0, 1.0)], n_chirps=2)
+        records[1] = Signal(records[1].samples[:-10], 40e6)
+        with pytest.raises(LocalizationError):
+            FmcwProcessor().chirp_spectra(records)
+
+    def test_range_search_window(self):
+        records = synth_beat_records([(2.0, 1.0)], modulated_flags=[True])
+        est = FmcwProcessor().estimate_range(records, min_distance_m=0.5, max_distance_m=5.0)
+        assert est.distance_m == pytest.approx(2.0, abs=0.05)
+
+
+class TestAoa:
+    def test_phase_recovers_angle(self):
+        chirp = SawtoothChirp()
+        baseline = 0.5 * SPEED_OF_LIGHT / chirp.center_hz
+        angle_true = 11.0
+        phase = aoa_phase_rad(angle_true, baseline, chirp.center_hz)
+        rx1 = synth_beat_records([(3.0, 1.0)], modulated_flags=[True], seed=1)
+        rx2 = synth_beat_records(
+            [(3.0, 1.0)], modulated_flags=[True], rx_phase=phase, seed=2
+        )
+        proc = FmcwProcessor(chirp)
+        estimator = AoaEstimator(baseline, chirp.center_hz, proc)
+        beat = proc.distance_to_beat_hz(3.0)
+        est = estimator.estimate(rx1, rx2, beat)
+        assert est.angle_deg == pytest.approx(angle_true, abs=0.3)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(LocalizationError):
+            AoaEstimator(0.0, 28e9)
+
+
+class TestUplinkReceiver:
+    def make_branch(self, gates, samples_per_symbol=64, amp=1.0, phase=0.7, dc=5.0, noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        gate = np.repeat(np.asarray(gates, dtype=float), samples_per_symbol)
+        samples = amp * gate * np.exp(1j * phase) + dc
+        samples = samples + noise * (
+            rng.standard_normal(gate.size) + 1j * rng.standard_normal(gate.size)
+        )
+        return Signal(samples, 64e6)
+
+    def test_decodes_with_pilots(self):
+        data_a = [1, 0, 1, 1]
+        data_b = [0, 1, 1, 0]
+        gates_a = list(PILOT_SYMBOLS) + data_a
+        gates_b = list(PILOT_SYMBOLS) + data_b
+        rx = UplinkReceiver()
+        result = rx.decode(
+            self.make_branch(gates_a),
+            self.make_branch(gates_b, phase=-1.1),
+            1e6,
+            len(gates_a),
+            n_pilot_symbols=len(PILOT_SYMBOLS),
+        )
+        expected = []
+        for a, b in zip(data_a, data_b):
+            expected += [a, b]
+        assert list(result.bits) == expected
+
+    def test_polarity_resolved_for_biased_payload(self):
+        # Payload with 75% ones: naive polarity heuristics invert this.
+        data = [1, 1, 1, 0, 1, 1, 1, 1]
+        gates = list(PILOT_SYMBOLS) + data
+        rx = UplinkReceiver()
+        result = rx.decode(
+            self.make_branch(gates),
+            self.make_branch(gates),
+            1e6,
+            len(gates),
+            n_pilot_symbols=len(PILOT_SYMBOLS),
+        )
+        assert list(result.bits[0::2]) == data
+
+    def test_pilot_count_validated(self):
+        rx = UplinkReceiver()
+        branch = self.make_branch(list(PILOT_SYMBOLS))
+        with pytest.raises(DecodingError):
+            rx.decode(branch, branch, 1e6, 4, n_pilot_symbols=10)
+
+    def test_pilot_bits_helper(self):
+        assert list(pilot_bits()) == [1, 1, 0, 0, 1, 1, 0, 0]
+
+    def test_zero_symbols_rejected(self):
+        rx = UplinkReceiver()
+        branch = self.make_branch([1])
+        with pytest.raises(DecodingError):
+            rx.decode(branch, branch, 1e6, 0)
+
+
+class TestDownlinkTransmitter:
+    def test_oaqfm_burst(self):
+        tx = DownlinkTransmitter(tx_power_w=0.5, sample_rate_hz=8e9)
+        burst = tx.build_burst([1, 0, 1, 1], TonePair(28.4e9, 27.6e9), 2e6)
+        assert not burst.used_ook_fallback
+        assert burst.n_symbols == 2
+        assert burst.symbol_rate_hz == pytest.approx(1e6)
+
+    def test_ook_fallback_on_degenerate_pair(self):
+        tx = DownlinkTransmitter(tx_power_w=0.5, sample_rate_hz=8e9)
+        burst = tx.build_burst([1, 0, 1], TonePair(28e9, 28e9), 1e6)
+        assert burst.used_ook_fallback
+        assert burst.n_symbols == 3
+
+    def test_total_power_preserved(self):
+        tx = DownlinkTransmitter(tx_power_w=0.5, sample_rate_hz=8e9)
+        burst = tx.build_burst([1, 1, 1, 1], TonePair(28.4e9, 27.6e9), 2e6)
+        assert burst.waveform.mean_power_w() == pytest.approx(0.5, rel=0.05)
+
+    def test_invalid_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DownlinkTransmitter(tx_power_w=0.0)
+
+
+class TestAccessPoint:
+    def test_tone_pair_selection(self):
+        ap = AccessPoint()
+        pair = ap.tone_pair_for_orientation(10.0)
+        assert pair.freq_a_hz != pair.freq_b_hz
+
+    def test_orientation_inverse(self):
+        ap = AccessPoint()
+        pair = ap.tone_pair_for_orientation(14.0)
+        assert ap.orientation_from_peak_frequency(pair.freq_a_hz) == pytest.approx(
+            14.0, abs=1e-6
+        )

@@ -1,0 +1,219 @@
+"""Tests for ARQ, configuration serialization, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.channel.scene import Scene2D
+from repro.cli import EXPERIMENTS, main
+from repro.errors import ConfigurationError, ProtocolError
+from repro.hardware.switch import SpdtSwitch, SwitchState
+from repro.node.config import NodeConfig
+from repro.node.firmware import PayloadDirection
+from repro.protocol.arq import ReliableChannel
+from repro.protocol.link import MilBackLink
+from repro.serialization import (
+    calibration_from_dict,
+    calibration_to_dict,
+    load_json,
+    node_config_from_dict,
+    node_config_to_dict,
+    save_json,
+)
+from repro.sim.calibration import Calibration, default_calibration
+from repro.sim.engine import MilBackSimulator
+
+
+def make_link(distance=3.0, seed=50):
+    scene = Scene2D.single_node(distance, orientation_deg=10.0)
+    return MilBackLink(MilBackSimulator(scene, seed=seed))
+
+
+class TestReliableChannel:
+    def test_good_link_first_attempt(self):
+        channel = ReliableChannel(make_link())
+        result = channel.send_reliable(b"telemetry")
+        assert result.delivered
+        assert result.attempts == 1
+        assert channel.stats.delivery_ratio() == 1.0
+
+    def test_downlink_direction(self):
+        channel = ReliableChannel(make_link())
+        result = channel.send_reliable(
+            b"config", direction=PayloadDirection.DOWNLINK, bit_rate_bps=4e6
+        )
+        assert result.delivered
+
+    def test_air_time_includes_ack(self):
+        link = make_link()
+        channel = ReliableChannel(link)
+        solo = link.receive_from_node(b"telemetry").air_time_s
+        result = channel.send_reliable(b"telemetry")
+        assert result.air_time_s > solo
+
+    def test_stats_accumulate(self):
+        channel = ReliableChannel(make_link())
+        channel.send_reliable(b"a")
+        channel.send_reliable(b"b")
+        assert channel.stats.transfers == 2
+        assert channel.stats.attempts >= 2
+        assert channel.stats.air_time_s > 0
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            ReliableChannel(make_link()).send_reliable(b"")
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ProtocolError):
+            ReliableChannel(make_link(), max_attempts=0)
+
+    def test_bad_link_exhausts_attempts(self):
+        # 11.5 m at 40 Mbps: essentially dead uplink.
+        channel = ReliableChannel(make_link(distance=11.5), max_attempts=2)
+        result = channel.send_reliable(b"x" * 64, bit_rate_bps=40e6)
+        if not result.delivered:
+            assert result.attempts == 2
+            assert channel.stats.data_failures + channel.stats.ack_failures >= 1
+
+
+class TestCalibrationSerialization:
+    def test_roundtrip(self):
+        original = Calibration(uplink_implementation_loss_db=7.5)
+        rebuilt = calibration_from_dict(calibration_to_dict(original))
+        assert rebuilt == original
+
+    def test_dict_is_json_safe(self):
+        text = json.dumps(calibration_to_dict(default_calibration()))
+        assert "ap_noise_figure_db" in text
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibration_from_dict({"not_a_real_knob": 1.0})
+
+
+class TestNodeConfigSerialization:
+    def test_roundtrip_defaults(self):
+        config = NodeConfig()
+        rebuilt = node_config_from_dict(node_config_to_dict(config))
+        assert rebuilt.fsa_design == config.fsa_design
+        assert rebuilt.max_uplink_bit_rate_bps() == config.max_uplink_bit_rate_bps()
+        assert rebuilt.max_downlink_bit_rate_bps() == config.max_downlink_bit_rate_bps()
+
+    def test_roundtrip_customized(self):
+        config = NodeConfig(
+            switch_a=SpdtSwitch(max_toggle_rate_hz=40e6),
+            switch_b=SpdtSwitch(max_toggle_rate_hz=40e6),
+            node_id="custom-7",
+        )
+        rebuilt = node_config_from_dict(node_config_to_dict(config))
+        assert rebuilt.node_id == "custom-7"
+        assert rebuilt.max_uplink_bit_rate_bps() == pytest.approx(80e6)
+
+    def test_switch_state_preserved(self):
+        config = NodeConfig()
+        config.switch_a.set_state(SwitchState.REFLECT)
+        rebuilt = node_config_from_dict(node_config_to_dict(config))
+        assert rebuilt.switch_a.state is SwitchState.REFLECT
+
+    def test_missing_section_rejected(self):
+        data = node_config_to_dict(NodeConfig())
+        del data["mcu"]
+        with pytest.raises(ConfigurationError):
+            node_config_from_dict(data)
+
+    def test_json_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "node.json")
+        save_json(node_config_to_dict(NodeConfig()), path)
+        rebuilt = node_config_from_dict(load_json(path))
+        assert rebuilt.fsa_design == NodeConfig().fsa_design
+
+    def test_validation_still_applies(self):
+        data = node_config_to_dict(NodeConfig())
+        data["fsa_design"]["n_elements"] = 1
+        with pytest.raises(ConfigurationError):
+            node_config_from_dict(data)
+
+
+class TestCli:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_fig10(self, capsys):
+        assert main(["run", "fig10"]) == 0
+        assert "Figure 10" in capsys.readouterr().out
+
+    def test_run_with_trials_override(self, capsys):
+        assert main(["run", "fig14", "--trials", "2"]) == 0
+        assert "Figure 14" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_every_registered_name_has_description(self):
+        for name, (description, runner) in EXPERIMENTS.items():
+            assert description
+            assert callable(runner)
+
+
+class TestApConfigSerialization:
+    def test_roundtrip_defaults(self):
+        from repro.ap.config import ApConfig
+        from repro.serialization import ap_config_from_dict, ap_config_to_dict
+
+        config = ApConfig()
+        rebuilt = ap_config_from_dict(ap_config_to_dict(config))
+        assert rebuilt.tx_power_dbm == config.tx_power_dbm
+        assert rebuilt.ranging_chirp == config.ranging_chirp
+        assert rebuilt.rx_baseline_m == config.rx_baseline_m
+
+    def test_roundtrip_customized(self):
+        from repro.ap.config import ApConfig
+        from repro.dsp.waveforms import SawtoothChirp
+        from repro.serialization import ap_config_from_dict, ap_config_to_dict
+
+        config = ApConfig(
+            tx_power_dbm=20.0,
+            ranging_chirp=SawtoothChirp(27e9, 29e9, 20e-6),
+        )
+        rebuilt = ap_config_from_dict(ap_config_to_dict(config))
+        assert rebuilt.tx_power_dbm == 20.0
+        assert rebuilt.ranging_chirp.bandwidth_hz == pytest.approx(2e9)
+
+    def test_json_safe(self):
+        import json
+
+        from repro.ap.config import ApConfig
+        from repro.serialization import ap_config_to_dict
+
+        text = json.dumps(ap_config_to_dict(ApConfig()))
+        assert "ranging_chirp" in text
+
+    def test_validation_applies(self):
+        from repro.ap.config import ApConfig
+        from repro.serialization import ap_config_from_dict, ap_config_to_dict
+
+        data = ap_config_to_dict(ApConfig())
+        data["n_ranging_chirps"] = 1  # below the subtraction minimum
+        with pytest.raises(ConfigurationError):
+            ap_config_from_dict(data)
+
+    def test_missing_section_rejected(self):
+        from repro.ap.config import ApConfig
+        from repro.serialization import ap_config_from_dict, ap_config_to_dict
+
+        data = ap_config_to_dict(ApConfig())
+        del data["ranging_chirp"]
+        with pytest.raises(ConfigurationError):
+            ap_config_from_dict(data)
+
+
+class TestJsonErrorPaths:
+    def test_load_json_missing_file(self, tmp_path):
+        from repro.serialization import load_json
+
+        with pytest.raises(OSError):
+            load_json(str(tmp_path / "missing.json"))

@@ -1,0 +1,187 @@
+"""Tests for atmosphere, battery-lifetime, and IQ-trace modules."""
+
+import numpy as np
+import pytest
+
+from repro.channel.atmosphere import (
+    AtmosphereModel,
+    fog_attenuation_db_per_km,
+    gaseous_attenuation_db_per_km,
+    rain_attenuation_db_per_km,
+)
+from repro.channel.scene import Scene2D
+from repro.dsp.iq import load_signal, save_signal
+from repro.dsp.signal import Signal
+from repro.dsp.waveforms import tone
+from repro.errors import ChannelError, ConfigurationError, SignalError
+from repro.hardware.energy import Battery, DutyCycledNode
+from repro.hardware.power import NodeMode
+from repro.node.node import BackscatterNode
+from repro.sim.engine import MilBackSimulator
+from repro.sim.linkbudget import LinkBudget
+
+
+class TestGaseousAttenuation:
+    def test_28ghz_clear_air_small(self):
+        # ~0.1-0.5 dB/km at 28 GHz: negligible indoors.
+        assert 0.05 < gaseous_attenuation_db_per_km(28e9) < 0.5
+
+    def test_oxygen_line_dominates_60ghz(self):
+        assert gaseous_attenuation_db_per_km(60e9) > 10.0
+
+    def test_60ghz_is_local_maximum(self):
+        assert gaseous_attenuation_db_per_km(60e9) > gaseous_attenuation_db_per_km(45e9)
+        assert gaseous_attenuation_db_per_km(60e9) > gaseous_attenuation_db_per_km(75e9)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ChannelError):
+            gaseous_attenuation_db_per_km(500e9)
+
+
+class TestRainAttenuation:
+    def test_zero_rain_zero_loss(self):
+        assert rain_attenuation_db_per_km(28e9, 0.0) == 0.0
+
+    def test_heavy_rain_at_28ghz(self):
+        # ITU P.838: ~4-6 dB/km at 25 mm/h, 28 GHz.
+        assert 3.0 < rain_attenuation_db_per_km(28e9, 25.0) < 7.0
+
+    def test_monotonic_in_rate(self):
+        rates = [1.0, 5.0, 25.0, 100.0]
+        losses = [rain_attenuation_db_per_km(28e9, r) for r in rates]
+        assert losses == sorted(losses)
+
+    def test_monotonic_in_frequency_below_100ghz(self):
+        assert rain_attenuation_db_per_km(60e9, 25.0) > rain_attenuation_db_per_km(
+            28e9, 25.0
+        )
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ChannelError):
+            rain_attenuation_db_per_km(28e9, -1.0)
+
+
+class TestFog:
+    def test_light_fog_tiny_at_28ghz(self):
+        assert fog_attenuation_db_per_km(28e9, 0.05) < 0.1
+
+    def test_scales_with_water_content(self):
+        assert fog_attenuation_db_per_km(28e9, 0.5) == pytest.approx(
+            10 * fog_attenuation_db_per_km(28e9, 0.05)
+        )
+
+
+class TestAtmosphereModel:
+    def test_clear_is_gases_only(self):
+        model = AtmosphereModel.clear()
+        assert model.specific_attenuation_db_per_km(28e9) == pytest.approx(
+            gaseous_attenuation_db_per_km(28e9)
+        )
+
+    def test_one_way_loss_scales_with_distance(self):
+        model = AtmosphereModel.heavy_rain()
+        assert model.one_way_loss_db(2000.0, 28e9) == pytest.approx(
+            2.0 * model.one_way_loss_db(1000.0, 28e9)
+        )
+
+    def test_indoor_range_insensitive_to_weather(self):
+        # At 8 m even a downpour costs < 0.1 dB: MilBack's design range
+        # is weather-proof, unlike km-scale radar.
+        assert AtmosphereModel.heavy_rain().one_way_loss_db(8.0, 28e9) < 0.1
+
+    def test_budget_integration(self):
+        scene = Scene2D.single_node(8.0, orientation_deg=10.0)
+        clear = LinkBudget(scene)
+        rainy = LinkBudget(scene, atmosphere=AtmosphereModel.heavy_rain())
+        pair = clear.fsa.alignment_pair(10.0)
+        diff = clear.backscatter_gain_db("A", pair.freq_a_hz) - rainy.backscatter_gain_db(
+            "A", pair.freq_a_hz
+        )
+        expected = 2.0 * AtmosphereModel.heavy_rain().one_way_loss_db(8.0, pair.freq_a_hz)
+        assert diff == pytest.approx(expected, abs=1e-9)
+
+    def test_engine_accepts_atmosphere(self):
+        scene = Scene2D.single_node(3.0, orientation_deg=10.0)
+        sim = MilBackSimulator(scene, seed=1, atmosphere=AtmosphereModel.dense_fog())
+        result = sim.simulate_localization()
+        assert abs(result.distance_error_m) < 0.1
+
+
+class TestBattery:
+    def test_cr2032_capacity(self):
+        assert Battery().capacity_j == pytest.approx(2430.0)
+
+    def test_self_discharge_power(self):
+        battery = Battery(capacity_j=3153.6, self_discharge_per_year=0.1)
+        # 10% of 3153.6 J per year ~ 10 nW... check the arithmetic.
+        assert battery.self_discharge_w() == pytest.approx(
+            315.36 / (365.25 * 86400), rel=1e-6
+        )
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Battery(capacity_j=0.0)
+
+
+class TestDutyCycledNode:
+    def make_node(self):
+        return DutyCycledNode(BackscatterNode().power_budget(uplink_bit_rate_bps=10e6))
+
+    def test_report_energy_magnitude(self):
+        # ~38 mW active for ~1.5 ms -> tens of microjoules.
+        energy = self.make_node().report_energy_j(1024, 10e6)
+        assert 1e-6 < energy < 1e-3
+
+    def test_lifetime_years_at_hourly_reports(self):
+        # A coin cell funds years of hourly reporting.
+        estimate = self.make_node().lifetime(Battery(), reports_per_hour=1.0)
+        assert estimate.lifetime_years > 5.0
+
+    def test_more_reports_shorter_life(self):
+        node = self.make_node()
+        rarely = node.lifetime(Battery(), reports_per_hour=1.0)
+        often = node.lifetime(Battery(), reports_per_hour=3600.0)
+        assert often.lifetime_s < rarely.lifetime_s
+
+    def test_sleep_floor_dominates_at_low_rates(self):
+        node = self.make_node()
+        estimate = node.lifetime(Battery(), reports_per_hour=0.01)
+        # Average power approaches sleep + self-discharge.
+        assert estimate.average_power_w < 4e-6
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_node().lifetime(Battery(), reports_per_hour=0.0)
+
+    def test_zero_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_node().report_energy_j(0)
+
+
+class TestIqTraces:
+    def test_roundtrip(self, tmp_path):
+        signal = tone(28.1e9, 2e-6, 1e9, amplitude=0.5, center_frequency_hz=28e9)
+        path = str(tmp_path / "capture.npz")
+        save_signal(signal, path)
+        loaded = load_signal(path)
+        assert np.array_equal(loaded.samples, signal.samples)
+        assert loaded.sample_rate_hz == signal.sample_rate_hz
+        assert loaded.center_frequency_hz == signal.center_frequency_hz
+
+    def test_start_time_preserved(self, tmp_path):
+        signal = Signal(np.ones(8, dtype=complex), 1e6, start_time_s=1.5e-3)
+        path = str(tmp_path / "t.npz")
+        save_signal(signal, path)
+        assert load_signal(path).start_time_s == pytest.approx(1.5e-3)
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, foo=np.ones(3))
+        with pytest.raises(SignalError):
+            load_signal(path)
+
+
+class TestIqErrorPaths:
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_signal(str(tmp_path / "nope.npz"))

@@ -1,0 +1,121 @@
+"""Baseline-system and Table-1 tests (repro.baselines)."""
+
+import pytest
+
+from repro.baselines.base import SystemCapabilities
+from repro.baselines.comparison import (
+    MilBackSystem,
+    all_systems,
+    capability_table,
+    energy_comparison,
+)
+from repro.baselines.millimetro import MillimetroSystem
+from repro.baselines.mmtag import MmTagSystem
+from repro.baselines.omniscatter import OmniScatterSystem
+from repro.errors import ConfigurationError
+
+
+class TestCapabilities:
+    def test_as_row_labels(self):
+        caps = SystemCapabilities(True, False, True, False)
+        row = caps.as_row()
+        assert row["Uplink Communication"] == "Yes"
+        assert row["Localization"] == "No"
+
+    def test_mmtag_matrix(self):
+        caps = MmTagSystem().capabilities()
+        assert caps.uplink and not caps.downlink
+        assert not caps.localization and not caps.orientation_sensing
+
+    def test_millimetro_matrix(self):
+        caps = MillimetroSystem().capabilities()
+        assert caps.localization and not caps.uplink
+
+    def test_omniscatter_matrix(self):
+        caps = OmniScatterSystem().capabilities()
+        assert caps.uplink and caps.localization and not caps.downlink
+
+    def test_milback_demonstrates_all_four(self):
+        caps = MilBackSystem().capabilities()
+        assert caps.uplink and caps.localization
+        assert caps.downlink and caps.orientation_sensing
+
+
+class TestEnergy:
+    def test_mmtag_energy_matches_paper(self):
+        assert MmTagSystem().energy_per_bit_j() == pytest.approx(2.4e-9)
+
+    def test_milback_uplink_energy(self):
+        assert MilBackSystem().energy_per_bit_j() == pytest.approx(0.8e-9)
+
+    def test_milback_downlink_energy(self):
+        assert MilBackSystem().downlink_energy_per_bit_j() == pytest.approx(0.5e-9)
+
+    def test_milback_beats_mmtag(self):
+        assert MilBackSystem().energy_per_bit_j() < MmTagSystem().energy_per_bit_j()
+
+    def test_millimetro_has_no_uplink_energy(self):
+        assert MillimetroSystem().energy_per_bit_j() is None
+
+
+class TestLinkModels:
+    def test_mmtag_snr_decays_with_distance(self):
+        sys = MmTagSystem()
+        assert sys.uplink_snr_db(2.0) > sys.uplink_snr_db(8.0)
+
+    def test_mmtag_wide_incidence(self):
+        sys = MmTagSystem()
+        # Van Atta keeps working at wide incidence (vs a fixed beam).
+        assert sys.uplink_snr_db(4.0, incidence_deg=30.0) > sys.uplink_snr_db(4.0) - 6.0
+
+    def test_mmtag_invalid_distance(self):
+        with pytest.raises(ConfigurationError):
+            MmTagSystem().uplink_snr_db(0.0)
+
+    def test_millimetro_integration_gain(self):
+        sys = MillimetroSystem()
+        gain = sys.ranging_snr_db(10.0, integration_chirps=64) - sys.ranging_snr_db(
+            10.0, integration_chirps=1
+        )
+        assert gain == pytest.approx(18.06, abs=0.1)
+
+    def test_millimetro_long_range(self):
+        # The headline: usable SNR at tens of meters with integration.
+        assert MillimetroSystem().ranging_snr_db(30.0) > 10.0
+
+    def test_millimetro_resolution(self):
+        assert MillimetroSystem().range_resolution_m() == pytest.approx(0.05, rel=0.01)
+
+    def test_omniscatter_low_rate_long_range(self):
+        sys = OmniScatterSystem()
+        # kbps-class rates survive far longer than Mbps rates.
+        assert sys.uplink_snr_db(10.0, bit_rate_bps=1e3) > sys.uplink_snr_db(
+            10.0, bit_rate_bps=1e6
+        ) + 25.0
+
+    def test_omniscatter_validates_inputs(self):
+        with pytest.raises(ConfigurationError):
+            OmniScatterSystem().uplink_snr_db(5.0, bit_rate_bps=0.0)
+
+
+class TestTables:
+    def test_capability_table_shape(self):
+        rows = capability_table()
+        assert len(rows) == 4
+        assert rows[-1]["Systems"] == "MilBack (This Work)"
+        # Paper Table 1: only MilBack has all four cells Yes.
+        for row in rows[:-1]:
+            cells = [v for k, v in row.items() if k != "Systems"]
+            assert "No" in cells
+        milback_cells = [v for k, v in rows[-1].items() if k != "Systems"]
+        assert all(c == "Yes" for c in milback_cells)
+
+    def test_energy_comparison_rows(self):
+        rows = energy_comparison()
+        assert len(rows) == 4
+        mmtag_row = next(r for r in rows if "mmTag" in r["Systems"])
+        assert mmtag_row["Uplink energy (nJ/bit)"] == pytest.approx(2.4)
+
+    def test_all_systems_order(self):
+        names = [s.name for s in all_systems()]
+        assert names[-1] == "MilBack (This Work)"

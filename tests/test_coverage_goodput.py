@@ -1,0 +1,70 @@
+"""Tests for the coverage-map and goodput studies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import coverage_map, goodput
+
+
+class TestCoverageMap:
+    @pytest.fixture(scope="class")
+    def small_map(self):
+        return coverage_map.run_coverage_map(
+            x_range_m=(2.0, 10.0), n_x=5, n_y=3, n_trials=2, seed=7
+        )
+
+    def test_grid_shape(self, small_map):
+        assert small_map.delivery.shape == (3, 5)
+
+    def test_probabilities_in_unit_interval(self, small_map):
+        assert (small_map.delivery >= 0).all()
+        assert (small_map.delivery <= 1).all()
+
+    def test_near_cells_covered(self, small_map):
+        # The nearest column (x=2 m) must be well covered.
+        assert small_map.delivery[:, 0].mean() > 0.5
+
+    def test_far_worse_than_near(self, small_map):
+        assert small_map.delivery[:, -1].mean() <= small_map.delivery[:, 1].mean()
+
+    def test_ascii_map_renders(self, small_map):
+        art = small_map.ascii_map()
+        assert "AP at x=0" in art
+        assert len(art.splitlines()) == 4  # 3 rows + caption
+
+    def test_ring_statistics(self, small_map):
+        rows = small_map.ring_statistics()
+        assert all(0 <= r["Coverage (%)"] <= 100 for r in rows)
+        assert sum(r["Cells"] for r in rows) == 15
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coverage_map.run_coverage_map(n_x=1, n_y=3)
+
+
+class TestGoodput:
+    def test_payload_sweep_efficiency_monotonic(self):
+        rows = goodput.run_payload_sweep()
+        efficiencies = [r["Efficiency (%)"] for r in rows]
+        assert efficiencies == sorted(efficiencies)
+
+    def test_small_payloads_dominated_by_preamble(self):
+        rows = goodput.run_payload_sweep(payload_sizes_bytes=(16,))
+        # A 16-byte packet spends nearly all its air time in the 385 us
+        # preamble: efficiency in the low percent.
+        assert rows[0]["Efficiency (%)"] < 5.0
+
+    def test_large_payloads_approach_phy_rate(self):
+        rows = goodput.run_payload_sweep(payload_sizes_bytes=(65000,))
+        assert rows[0]["Efficiency (%)"] > 90.0
+
+    def test_range_sweep_degrades(self):
+        rows = goodput.run_range_sweep(
+            distances_m=(2.0, 9.5), n_packets=2, seed=3
+        )
+        assert rows[0]["Goodput (Mbps)"] >= rows[-1]["Goodput (Mbps)"]
+
+    def test_range_sweep_close_range_delivers(self):
+        rows = goodput.run_range_sweep(distances_m=(2.0,), n_packets=2, seed=4)
+        assert rows[0]["Delivered"] == "2/2"

@@ -1,0 +1,62 @@
+"""Documentation executable guards.
+
+The README and package-docstring quickstarts are promises; these tests
+execute them so the docs cannot drift from the API.
+"""
+
+import re
+from pathlib import Path
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_block_runs(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+        assert blocks, "README lost its quickstart code block"
+        namespace: dict = {}
+        exec(blocks[0], namespace)  # noqa: S102 - executing our own docs
+        assert namespace["up"].delivered
+        assert namespace["down"].delivered
+
+    def test_package_docstring_quickstart_runs(self):
+        doc = repro.__doc__
+        lines = [
+            line[4:]
+            for line in doc.splitlines()
+            if line.startswith("    ") and not line.strip().startswith(">>>")
+        ]
+        code = "\n".join(lines)
+        namespace: dict = {}
+        exec(code, namespace)  # noqa: S102
+        assert namespace["reply"].delivered
+
+
+class TestDocCrossReferences:
+    def test_design_references_existing_benches(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text()
+        for match in re.findall(r"benchmarks/(test_bench_\w+\.py)", design):
+            assert (REPO_ROOT / "benchmarks" / match).exists(), match
+
+    def test_experiments_references_existing_benches(self):
+        experiments = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        for match in re.findall(r"`(test_bench_\w+\.py)`", experiments):
+            assert (REPO_ROOT / "benchmarks" / match).exists(), match
+
+    def test_readme_examples_exist(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for match in re.findall(r"`(\w+\.py)` —", readme):
+            assert (REPO_ROOT / "examples" / match).exists(), match
+
+    def test_api_doc_symbols_importable(self):
+        """Every `repro.something` dotted path named in docs/API.md
+        resolves."""
+        import importlib
+
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        for match in set(re.findall(r"`repro\.([a-z_.]+)`", api)):
+            module = f"repro.{match}"
+            importlib.import_module(module)

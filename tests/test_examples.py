@@ -1,0 +1,71 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are documentation that executes; these tests keep them from
+rotting. Output is captured and spot-checked for the headline lines.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "localization:" in out
+    assert "delivered=True" in out
+    assert "protocol trace:" in out
+
+
+def test_vr_headset_tracking(capsys):
+    out = run_example("vr_headset_tracking.py", capsys)
+    assert "VR headset tracking" in out
+    assert "mean range error" in out
+
+
+def test_iot_sensor_network(capsys):
+    out = run_example("iot_sensor_network.py", capsys)
+    assert "SDM schedule" in out
+    assert "packets delivered" in out
+
+
+def test_warehouse_inventory(capsys):
+    out = run_example("warehouse_inventory.py", capsys)
+    assert "Warehouse aisle scan" in out
+    assert "baseline contrast" in out
+
+
+def test_tracked_drone_landing(capsys):
+    out = run_example("tracked_drone_landing.py", capsys)
+    assert "discovery at" in out
+    assert "steady-state mean error" in out
+
+
+def test_walking_vr_user(capsys):
+    out = run_example("walking_vr_user.py", capsys)
+    assert "Walking VR user" in out
+    assert "ARQ:" in out
+
+
+def test_room_survey(capsys):
+    out = run_example("room_survey.py", capsys)
+    assert "Room survey" in out
+    assert "warehouse" in out
+
+
+def test_multi_tag_inventory(capsys):
+    out = run_example("multi_tag_inventory.py", capsys)
+    assert "Inventory of 12 tags" in out
+    assert "delivered=True" in out

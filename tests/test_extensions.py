@@ -1,0 +1,306 @@
+"""Tests for the extension features: dense OAQFM, FEC, tracking,
+rate adaptation, and beam-scan discovery."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.scene import Scene2D
+from repro.errors import ConfigurationError, DecodingError, ProtocolError
+from repro.phy.coding import (
+    code_rate,
+    deinterleave,
+    hamming74_decode,
+    hamming74_encode,
+    interleave,
+)
+from repro.phy.dense_oaqfm import (
+    DenseOaqfmScheme,
+    decode_dense_levels,
+    dense_symbol_levels,
+)
+from repro.protocol.adaptation import UplinkRateAdapter
+from repro.protocol.discovery import BeamScanDiscovery
+from repro.protocol.link import MilBackLink
+from repro.sim.engine import MilBackSimulator
+from repro.tracking.kalman import (
+    ConstantVelocityTracker,
+    polar_to_cartesian_covariance,
+)
+
+bit_lists = st.lists(st.sampled_from([0, 1]), min_size=1, max_size=64)
+
+
+class TestDenseOaqfmScheme:
+    def test_bits_per_symbol(self):
+        assert DenseOaqfmScheme(2).bits_per_symbol == 2
+        assert DenseOaqfmScheme(4).bits_per_symbol == 4
+        assert DenseOaqfmScheme(8).bits_per_symbol == 6
+
+    def test_amplitudes_equally_spaced(self):
+        scheme = DenseOaqfmScheme(4)
+        amps = [scheme.amplitude_for_level(l) for l in range(4)]
+        assert amps == pytest.approx([0.0, 1 / 3, 2 / 3, 1.0])
+
+    def test_gray_roundtrip(self):
+        scheme = DenseOaqfmScheme(8)
+        for level in range(8):
+            assert scheme.level_for_bits(scheme.bits_for_level(level)) == level
+
+    def test_gray_adjacent_levels_differ_one_bit(self):
+        scheme = DenseOaqfmScheme(8)
+        for level in range(7):
+            a = scheme.bits_for_level(level)
+            b = scheme.bits_for_level(level + 1)
+            assert sum(x != y for x, y in zip(a, b)) == 1
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DenseOaqfmScheme(3)
+
+    def test_level_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            DenseOaqfmScheme(4).amplitude_for_level(4)
+
+    @given(bit_lists)
+    def test_levels_roundtrip_noiseless(self, bits):
+        scheme = DenseOaqfmScheme(4)
+        levels_a, levels_b = dense_symbol_levels(bits, scheme)
+        measured_a = np.array([scheme.amplitude_for_level(l) for l in levels_a])
+        measured_b = np.array([scheme.amplitude_for_level(l) for l in levels_b])
+        # Guarantee a full-scale reference symbol, as a preamble would.
+        measured_a = np.concatenate([[1.0], measured_a])
+        measured_b = np.concatenate([[1.0], measured_b])
+        decoded = decode_dense_levels(measured_a, measured_b, scheme)
+        payload = decoded[scheme.bits_per_symbol :]
+        padded = list(bits) + [0] * (payload.size - len(bits))
+        assert list(payload) == padded
+
+    def test_engine_dense_downlink_short_range(self):
+        sim = MilBackSimulator(Scene2D.single_node(2.0, orientation_deg=12.0), seed=3)
+        bits = np.random.default_rng(0).integers(0, 2, 128)
+        result = sim.simulate_downlink_dense(bits, DenseOaqfmScheme(4), 1e6)
+        assert result.ber == 0.0
+
+    def test_engine_dense_degrades_before_classic(self):
+        bits = np.random.default_rng(1).integers(0, 2, 256)
+        scene = Scene2D.single_node(10.0, orientation_deg=12.0)
+        dense = MilBackSimulator(scene, seed=4).simulate_downlink_dense(
+            bits, DenseOaqfmScheme(4), 1e6
+        )
+        classic = MilBackSimulator(scene, seed=4).simulate_downlink(bits, 2e6)
+        assert dense.ber >= classic.ber
+
+    def test_engine_rejects_degenerate_pair(self):
+        sim = MilBackSimulator(Scene2D.single_node(2.0, orientation_deg=0.0), seed=5)
+        with pytest.raises(ConfigurationError):
+            sim.simulate_downlink_dense([1, 0, 1, 0], DenseOaqfmScheme(4), 1e6)
+
+
+class TestHammingCoding:
+    def test_rate(self):
+        assert code_rate() == pytest.approx(4 / 7)
+
+    def test_encode_length(self):
+        assert hamming74_encode([1, 0, 1, 1]).size == 7
+
+    def test_clean_roundtrip(self):
+        data = [1, 0, 1, 1, 0, 0, 1, 0]
+        decoded, corrected = hamming74_decode(hamming74_encode(data))
+        assert list(decoded) == data
+        assert corrected == 0
+
+    def test_single_error_corrected(self):
+        coded = hamming74_encode([1, 0, 1, 1])
+        for position in range(7):
+            corrupted = coded.copy()
+            corrupted[position] ^= 1
+            decoded, corrected = hamming74_decode(corrupted)
+            assert list(decoded) == [1, 0, 1, 1]
+            assert corrected == 1
+
+    def test_double_error_not_corrected(self):
+        coded = hamming74_encode([1, 0, 1, 1])
+        coded[0] ^= 1
+        coded[3] ^= 1
+        decoded, _ = hamming74_decode(coded)
+        assert list(decoded) != [1, 0, 1, 1]
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(DecodingError):
+            hamming74_decode(np.zeros(8, dtype=np.uint8))
+
+    @given(bit_lists)
+    def test_roundtrip_property(self, bits):
+        decoded, _ = hamming74_decode(hamming74_encode(bits))
+        padded = list(bits) + [0] * ((-len(bits)) % 4)
+        assert list(decoded) == padded
+
+
+class TestInterleaver:
+    def test_roundtrip(self):
+        bits = np.arange(24) % 2
+        assert list(deinterleave(interleave(bits, 8), 8)) == list(bits)
+
+    def test_burst_spread(self):
+        # A burst of 3 adjacent errors lands in 3 different codeword-size
+        # neighborhoods after deinterleaving.
+        n = 56
+        bits = np.zeros(n, dtype=np.uint8)
+        tx = interleave(bits, 8)
+        tx[10:13] ^= 1  # 3-bit burst on the air
+        rx = deinterleave(tx, 8)
+        error_positions = np.flatnonzero(rx)
+        assert np.min(np.diff(error_positions)) >= 7
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            interleave([1, 0], 0)
+
+    @given(bit_lists, st.integers(min_value=1, max_value=16))
+    def test_roundtrip_property(self, bits, depth):
+        out = deinterleave(interleave(bits, depth), depth)
+        assert list(out[: len(bits)]) == list(bits)
+
+
+class TestFecLink:
+    def test_fec_session_delivers(self):
+        scene = Scene2D.single_node(3.0, orientation_deg=10.0)
+        link = MilBackLink(MilBackSimulator(scene, seed=42), use_fec=True)
+        result = link.receive_from_node(b"coded payload", bit_rate_bps=10e6)
+        assert result.delivered
+
+    def test_fec_costs_air_time(self):
+        scene = Scene2D.single_node(3.0, orientation_deg=10.0)
+        plain = MilBackLink(MilBackSimulator(scene, seed=43))
+        coded = MilBackLink(MilBackSimulator(scene, seed=43), use_fec=True)
+        r_plain = plain.receive_from_node(b"same payload", bit_rate_bps=10e6)
+        r_coded = coded.receive_from_node(b"same payload", bit_rate_bps=10e6)
+        assert r_coded.air_time_s > r_plain.air_time_s
+
+    def test_fec_downlink_works_too(self):
+        scene = Scene2D.single_node(3.0, orientation_deg=10.0)
+        link = MilBackLink(MilBackSimulator(scene, seed=44), use_fec=True)
+        assert link.send_to_node(b"dl", bit_rate_bps=4e6).delivered
+
+
+class TestTracker:
+    def test_polar_conversion(self):
+        position, cov = polar_to_cartesian_covariance(2.0, 90.0, 0.01, 1.0)
+        assert position[0] == pytest.approx(0.0, abs=1e-9)
+        assert position[1] == pytest.approx(2.0)
+        # At 90 deg, range error is along y, angular error along x.
+        assert cov[0, 0] > cov[1, 1]
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            polar_to_cartesian_covariance(0.0, 0.0, 0.01, 1.0)
+
+    def test_static_target_variance_shrinks(self):
+        rng = np.random.default_rng(0)
+        tracker = ConstantVelocityTracker(process_accel_mps2=0.05)
+        stds = []
+        for k in range(20):
+            r = 3.0 + rng.normal(0, 0.03)
+            az = 10.0 + rng.normal(0, 1.2)
+            state = tracker.update(0.1 * k, r, az)
+            stds.append(state.position_std_m)
+        assert stds[-1] < stds[0] / 2
+
+    def test_tracks_constant_velocity(self):
+        tracker = ConstantVelocityTracker()
+        rng = np.random.default_rng(1)
+        # Target moves +x at 1 m/s from (2, 0).
+        for k in range(30):
+            t = 0.1 * k
+            x, y = 2.0 + t, 0.5
+            r = math.hypot(x, y) + rng.normal(0, 0.03)
+            az = math.degrees(math.atan2(y, x)) + rng.normal(0, 1.0)
+            state = tracker.update(t, r, az)
+        assert state.vx_mps == pytest.approx(1.0, abs=0.3)
+        assert abs(state.vy_mps) < 0.3
+
+    def test_prediction(self):
+        tracker = ConstantVelocityTracker()
+        for k in range(20):
+            t = 0.1 * k
+            tracker.update(t, 2.0 + t, 0.0)
+        x, _ = tracker.predict_position(2.4)
+        # Radial speed ~1 m/s, so at t=2.4 the target is near x=4.4.
+        assert x == pytest.approx(4.4, abs=0.4)
+
+    def test_time_reversal_rejected(self):
+        tracker = ConstantVelocityTracker()
+        tracker.update(1.0, 2.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            tracker.update(0.5, 2.0, 0.0)
+
+    def test_predict_before_init_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantVelocityTracker().predict_position(0.0)
+
+
+class TestRateAdapter:
+    def test_high_snr_picks_fast_rate(self):
+        adapter = UplinkRateAdapter(target_ber=1e-6)
+        assert adapter.choose_rate(26.0, 10e6).rate_bps == 160e6
+
+    def test_low_snr_falls_back_to_slowest(self):
+        adapter = UplinkRateAdapter(target_ber=1e-6)
+        assert adapter.choose_rate(5.0, 10e6).rate_bps == 10e6
+
+    def test_bandwidth_scaling(self):
+        adapter = UplinkRateAdapter()
+        assert adapter.predicted_snr_db(20.0, 10e6, 40e6) == pytest.approx(
+            20.0 - 6.02, abs=0.01
+        )
+
+    def test_hardware_ceiling_respected(self):
+        adapter = UplinkRateAdapter(target_ber=1e-6)
+        decision = adapter.choose_rate(30.0, 10e6, max_rate_bps=40e6)
+        assert decision.rate_bps <= 40e6
+
+    def test_decision_monotonic_in_snr(self):
+        adapter = UplinkRateAdapter(target_ber=1e-6)
+        rates = [adapter.choose_rate(snr, 10e6).rate_bps for snr in (8, 14, 20, 26)]
+        assert rates == sorted(rates)
+
+    def test_predicted_ber_reported(self):
+        decision = UplinkRateAdapter(target_ber=1e-6).choose_rate(20.0, 10e6)
+        assert 0.0 <= decision.predicted_ber < 1e-6
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UplinkRateAdapter(target_ber=0.9)
+
+
+class TestDiscovery:
+    @pytest.mark.parametrize("azimuth,distance", [(12.0, 4.0), (-20.0, 3.0)])
+    def test_node_found_at_its_direction(self, azimuth, distance):
+        scene = Scene2D.single_node(distance, azimuth_deg=azimuth, orientation_deg=8.0)
+        sim = MilBackSimulator(scene, seed=10)
+        detections = BeamScanDiscovery(sim).scan()
+        assert len(detections) == 1
+        assert detections[0].azimuth_deg == pytest.approx(azimuth, abs=4.0)
+        assert detections[0].distance_m == pytest.approx(distance, abs=0.2)
+
+    def test_detection_is_coherent(self):
+        scene = Scene2D.single_node(4.0, azimuth_deg=12.0, orientation_deg=8.0)
+        detections = BeamScanDiscovery(MilBackSimulator(scene, seed=11)).scan()
+        assert detections[0].coherence > 0.9
+
+    def test_invalid_scan_range_rejected(self):
+        scene = Scene2D.single_node(3.0)
+        sim = MilBackSimulator(scene, seed=12)
+        with pytest.raises(ProtocolError):
+            BeamScanDiscovery(sim, scan_min_deg=10.0, scan_max_deg=-10.0)
+
+    def test_probe_returns_triplet(self):
+        scene = Scene2D.single_node(3.0, orientation_deg=8.0)
+        sim = MilBackSimulator(scene, seed=13)
+        magnitude, distance, coherence = sim.probe_direction(0.0)
+        assert magnitude > 0
+        assert distance == pytest.approx(3.0, abs=0.1)
+        assert coherence > 0.9

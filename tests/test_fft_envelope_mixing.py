@@ -1,0 +1,185 @@
+"""Spectral analysis, envelope and mixing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsp.envelope import (
+    ideal_envelope,
+    power_envelope,
+    two_tone_mean_envelope,
+    video_filtered_envelope,
+)
+from repro.dsp.fftutils import find_peaks_above, interpolated_peak, windowed_fft
+from repro.dsp.mixing import downconvert, mix_with_tone, remove_dc
+from repro.dsp.signal import Signal
+from repro.dsp.waveforms import tone, two_tone
+from repro.errors import SignalError
+
+
+def tone_signal(freq_offset, fs=1e6, n=4096, amp=1.0):
+    t = np.arange(n) / fs
+    return Signal(amp * np.exp(2j * np.pi * freq_offset * t), fs)
+
+
+class TestWindowedFft:
+    def test_tone_magnitude_tracks_amplitude(self):
+        # Off-bin tones suffer up to ~1.4 dB of hann scalloping, so the
+        # normalized magnitude sits within [0.85, 1.0] of the amplitude.
+        spec = windowed_fft(tone_signal(1e5, amp=2.5))
+        assert 0.85 * 2.5 <= spec.magnitude.max() <= 2.5 * 1.001
+
+    def test_on_bin_tone_magnitude_exact(self):
+        freq = 1e6 / 4096 * 410  # exactly on bin 410
+        spec = windowed_fft(tone_signal(freq, amp=2.5))
+        assert spec.magnitude.max() == pytest.approx(2.5, rel=1e-6)
+
+    def test_rect_window_tone_magnitude(self):
+        # Exactly on-bin tone with rect window: exact amplitude.
+        spec = windowed_fft(tone_signal(1e6 / 4096 * 100), window="rect")
+        assert spec.magnitude.max() == pytest.approx(1.0, rel=1e-9)
+
+    def test_unknown_window_raises(self):
+        with pytest.raises(SignalError):
+            windowed_fft(tone_signal(1e5), window="kaiser9000")
+
+    def test_empty_raises(self):
+        with pytest.raises(SignalError):
+            windowed_fft(Signal(np.array([], dtype=complex), 1e6))
+
+    def test_nfft_zero_padding(self):
+        spec = windowed_fft(tone_signal(1e5, n=1000), nfft=4096)
+        assert spec.frequencies_hz.size == 4096
+
+    def test_nfft_smaller_raises(self):
+        with pytest.raises(SignalError):
+            windowed_fft(tone_signal(1e5, n=1000), nfft=500)
+
+    def test_bin_spacing(self):
+        spec = windowed_fft(tone_signal(1e5, n=1000))
+        assert spec.bin_spacing_hz() == pytest.approx(1e6 / 1000)
+
+    def test_value_at_nearest_bin(self):
+        freq = 1e6 / 4096 * 410  # on-bin, no scalloping
+        spec = windowed_fft(tone_signal(freq))
+        assert abs(spec.value_at(freq)) == pytest.approx(1.0, rel=0.01)
+
+
+class TestPeakFinding:
+    @given(st.floats(min_value=-3e5, max_value=3e5))
+    def test_interpolated_peak_accuracy(self, freq):
+        spec = windowed_fft(tone_signal(freq))
+        peak = interpolated_peak(spec)
+        # Sub-bin accuracy: within a tenth of a bin.
+        assert peak.frequency_hz == pytest.approx(freq, abs=0.1 * 1e6 / 4096)
+
+    def test_peak_search_range(self):
+        s = tone_signal(1e5) + tone_signal(-2e5, amp=3.0)
+        peak = interpolated_peak(windowed_fft(s), min_hz=0.0)
+        assert peak.frequency_hz == pytest.approx(1e5, rel=1e-2)
+
+    def test_empty_range_raises(self):
+        with pytest.raises(SignalError):
+            interpolated_peak(windowed_fft(tone_signal(1e5)), min_hz=1e9)
+
+    def test_find_peaks_above_finds_both(self):
+        s = tone_signal(1e5) + tone_signal(-2e5, amp=0.8)
+        peaks = find_peaks_above(windowed_fft(s), threshold_ratio=0.5)
+        freqs = sorted(p.frequency_hz for p in peaks)
+        assert len(freqs) == 2
+        assert freqs[0] == pytest.approx(-2e5, rel=1e-2)
+        assert freqs[1] == pytest.approx(1e5, rel=1e-2)
+
+    def test_find_peaks_threshold_excludes_weak(self):
+        s = tone_signal(1e5) + tone_signal(-2e5, amp=0.1)
+        peaks = find_peaks_above(windowed_fft(s), threshold_ratio=0.5)
+        assert len(peaks) == 1
+
+    def test_bad_threshold_raises(self):
+        with pytest.raises(SignalError):
+            find_peaks_above(windowed_fft(tone_signal(1e5)), threshold_ratio=0.0)
+
+
+class TestEnvelope:
+    def test_ideal_envelope_of_tone_is_flat(self):
+        env = ideal_envelope(tone_signal(1e5, amp=3.0))
+        assert np.allclose(env.samples.real, 3.0)
+
+    def test_power_envelope_squares(self):
+        env = power_envelope(tone_signal(1e5, amp=2.0))
+        assert np.allclose(env.samples.real, 4.0)
+
+    def test_video_filter_smooths_beat(self):
+        fs = 1e9
+        s = two_tone(1.0e9, 1.2e9, 5e-6, fs, center_frequency_hz=1.1e9)
+        env = video_filtered_envelope(s, 1e6)
+        # After settling, the filtered power envelope approaches the mean
+        # power (2 W), with the 200 MHz beat removed.
+        tail = env.samples.real[-1000:]
+        assert np.std(tail) < 0.05
+        assert np.mean(tail) == pytest.approx(2.0, rel=0.05)
+
+
+class TestTwoToneMeanEnvelope:
+    def test_single_tone_passthrough(self):
+        assert two_tone_mean_envelope(2.0, 0.0) == pytest.approx(2.0)
+        assert two_tone_mean_envelope(0.0, 3.0) == pytest.approx(3.0)
+
+    def test_zero_inputs(self):
+        assert two_tone_mean_envelope(0.0, 0.0) == 0.0
+
+    def test_equal_tones_value(self):
+        # mean|1 + e^{j phi}| = 4/pi.
+        assert two_tone_mean_envelope(1.0, 1.0) == pytest.approx(4.0 / np.pi, rel=1e-6)
+
+    @given(
+        st.floats(min_value=0.001, max_value=100.0),
+        st.floats(min_value=0.001, max_value=100.0),
+    )
+    def test_matches_numerical_average(self, a, b):
+        phases = np.linspace(0, 2 * np.pi, 20001)
+        numerical = np.mean(np.abs(a + b * np.exp(1j * phases)))
+        assert two_tone_mean_envelope(a, b) == pytest.approx(numerical, rel=1e-4)
+
+    def test_symmetry(self):
+        assert two_tone_mean_envelope(1.0, 3.0) == pytest.approx(
+            two_tone_mean_envelope(3.0, 1.0)
+        )
+
+    def test_array_broadcast(self):
+        out = two_tone_mean_envelope(np.array([1.0, 0.0]), np.array([0.0, 2.0]))
+        assert out.shape == (2,)
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(2.0)
+
+
+class TestMixing:
+    def test_mix_moves_tone_to_dc(self):
+        s = tone(28.2e9, 10e-6, 1e9, center_frequency_hz=28e9)
+        mixed = mix_with_tone(s, 28.2e9)
+        assert np.allclose(mixed.samples, mixed.samples[0], atol=1e-9)
+
+    def test_mix_out_of_band_raises(self):
+        s = tone(28.2e9, 1e-6, 1e9, center_frequency_hz=28e9)
+        with pytest.raises(SignalError):
+            mix_with_tone(s, 30e9)
+
+    def test_downconvert_rate_mismatch_raises(self):
+        a = tone_signal(1e5, fs=1e6)
+        b = tone_signal(1e5, fs=2e6)
+        with pytest.raises(SignalError):
+            downconvert(a, b)
+
+    def test_downconvert_identical_gives_dc(self):
+        s = tone_signal(1e5)
+        out = downconvert(s, s)
+        assert np.allclose(out.samples, 1.0)
+
+    def test_remove_dc(self):
+        s = tone_signal(1e5) + 5.0
+        out = remove_dc(s)
+        assert abs(np.mean(out.samples)) < 1e-9
+
+    def test_remove_dc_empty_raises(self):
+        with pytest.raises(SignalError):
+            remove_dc(Signal(np.array([], dtype=complex), 1e6))

@@ -1,0 +1,134 @@
+"""Link-budget and calibration tests (repro.sim)."""
+
+import math
+
+import pytest
+
+from repro.antennas.fsa import FsaPort
+from repro.channel.scene import Scene2D
+from repro.sim.calibration import Calibration, default_calibration
+from repro.sim.linkbudget import LinkBudget
+
+
+@pytest.fixture
+def budget():
+    return LinkBudget(Scene2D.single_node(2.0, orientation_deg=10.0))
+
+
+class TestGeometryShortcuts:
+    def test_distance(self, budget):
+        assert budget.node_distance_m() == pytest.approx(2.0)
+
+    def test_orientation(self, budget):
+        assert budget.node_orientation_deg() == pytest.approx(10.0)
+
+    def test_tx_power(self, budget):
+        assert budget.tx_power_w() == pytest.approx(0.501, rel=0.01)
+
+
+class TestDownlinkBudget:
+    def test_aligned_tone_level(self, budget):
+        pair = budget.fsa.alignment_pair(10.0)
+        gain = budget.downlink_port_gain_db(FsaPort.A, pair.freq_a_hz)
+        # 20 (horn) + 13 (FSA) - 67.4 (FSPL 2 m) - 1 (switch) - 1 (impl)
+        assert gain == pytest.approx(-36.6, abs=0.8)
+
+    def test_misaligned_tone_suppressed(self, budget):
+        pair = budget.fsa.alignment_pair(10.0)
+        aligned = budget.downlink_port_gain_db(FsaPort.A, pair.freq_a_hz)
+        leaked = budget.downlink_port_gain_db(FsaPort.A, pair.freq_b_hz)
+        assert aligned - leaked > 20.0
+
+    def test_path_delay(self, budget):
+        pair = budget.fsa.alignment_pair(10.0)
+        path = budget.downlink_path(FsaPort.A, pair.freq_a_hz)
+        assert path.delay_s == pytest.approx(2.0 / 299792458.0)
+
+    def test_slope_vs_distance_is_20log(self):
+        near = LinkBudget(Scene2D.single_node(2.0, orientation_deg=10.0))
+        far = LinkBudget(Scene2D.single_node(8.0, orientation_deg=10.0))
+        pair = near.fsa.alignment_pair(10.0)
+        diff = near.downlink_port_gain_db(
+            FsaPort.A, pair.freq_a_hz
+        ) - far.downlink_port_gain_db(FsaPort.A, pair.freq_a_hz)
+        assert diff == pytest.approx(20.0 * math.log10(4.0), abs=0.01)
+
+
+class TestBackscatterBudget:
+    def test_slope_vs_distance_is_40log(self):
+        near = LinkBudget(Scene2D.single_node(2.0, orientation_deg=10.0))
+        far = LinkBudget(Scene2D.single_node(8.0, orientation_deg=10.0))
+        pair = near.fsa.alignment_pair(10.0)
+        diff = near.backscatter_gain_db(
+            FsaPort.A, pair.freq_a_hz
+        ) - far.backscatter_gain_db(FsaPort.A, pair.freq_a_hz)
+        assert diff == pytest.approx(40.0 * math.log10(4.0), abs=0.01)
+
+    def test_round_trip_delay(self, budget):
+        pair = budget.fsa.alignment_pair(10.0)
+        path = budget.backscatter_path(FsaPort.A, pair.freq_a_hz)
+        assert path.delay_s == pytest.approx(4.0 / 299792458.0)
+
+    def test_modulation_loss_toggle(self, budget):
+        pair = budget.fsa.alignment_pair(10.0)
+        with_loss = budget.backscatter_gain_db(FsaPort.A, pair.freq_a_hz)
+        without = budget.backscatter_gain_db(
+            FsaPort.A, pair.freq_a_hz, include_modulation_loss=False
+        )
+        assert without - with_loss == pytest.approx(
+            budget.calibration.backscatter_modulation_loss_db
+        )
+
+
+class TestClutterAndSi:
+    def test_clutter_paths_cover_scene(self, budget):
+        paths = budget.clutter_paths(28e9)
+        assert len(paths) == 4
+        labels = {p.label for p in paths}
+        assert "clutter-back-wall" in labels
+
+    def test_clutter_dominates_node_raw_return(self, budget):
+        # The premise of §5.1: the node's reflection is much weaker than
+        # the strongest environmental reflection.
+        pair = budget.fsa.alignment_pair(10.0)
+        node_gain = budget.backscatter_gain_db(FsaPort.A, pair.freq_a_hz)
+        strongest = max(p.gain_db for p in budget.clutter_paths(28e9))
+        assert strongest > node_gain
+
+    def test_self_interference_stronger_than_clutter(self, budget):
+        si = budget.self_interference_path()
+        strongest = max(p.gain_db for p in budget.clutter_paths(28e9))
+        assert si.gain_db > strongest
+
+    def test_empty_scene_clutter(self):
+        budget = LinkBudget(Scene2D.single_node(2.0, with_clutter=False))
+        assert budget.clutter_paths(28e9) == []
+
+
+class TestMirrorReflection:
+    def test_strong_in_specular_window(self):
+        cal = default_calibration()
+        specular = LinkBudget(
+            Scene2D.single_node(2.0, orientation_deg=cal.mirror_specular_center_deg)
+        )
+        away = LinkBudget(Scene2D.single_node(2.0, orientation_deg=15.0))
+        assert specular.mirror_reflection_gain_db(28e9) > away.mirror_reflection_gain_db(
+            28e9
+        ) + 20.0
+
+
+class TestCalibration:
+    def test_frozen(self):
+        cal = default_calibration()
+        with pytest.raises(AttributeError):
+            cal.ap_noise_figure_db = 3.0
+
+    def test_override(self):
+        cal = Calibration(uplink_implementation_loss_db=10.0)
+        assert cal.uplink_implementation_loss_db == 10.0
+
+    def test_defaults_sane(self):
+        cal = default_calibration()
+        assert 0 <= cal.backscatter_modulation_loss_db < 10
+        assert cal.clutter_cancellation_db > 20
+        assert cal.slope_error_sigma < 0.05

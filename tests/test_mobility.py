@@ -1,0 +1,129 @@
+"""Mobility and blockage tests (repro.channel.mobility, repro.sim.mobility)."""
+
+import math
+
+import pytest
+
+from repro.channel.mobility import (
+    BlockageEvent,
+    BlockageModel,
+    Waypoint,
+    WaypointTrajectory,
+)
+from repro.errors import ChannelError, ConfigurationError
+from repro.sim.mobility import MobileSessionSimulator
+from repro.utils.geometry import Pose2D
+
+
+def straight_line(duration_s=2.0):
+    return WaypointTrajectory(
+        [
+            Waypoint(0.0, Pose2D.at(2.0, 0.0, 180.0)),
+            Waypoint(duration_s, Pose2D.at(4.0, 0.0, 180.0)),
+        ]
+    )
+
+
+class TestTrajectory:
+    def test_interpolation_midpoint(self):
+        pose = straight_line().pose_at(1.0)
+        assert pose.position.x == pytest.approx(3.0)
+        assert pose.position.y == pytest.approx(0.0)
+
+    def test_clamped_before_start(self):
+        assert straight_line().pose_at(-1.0).position.x == pytest.approx(2.0)
+
+    def test_clamped_after_end(self):
+        assert straight_line().pose_at(99.0).position.x == pytest.approx(4.0)
+
+    def test_heading_shortest_arc(self):
+        traj = WaypointTrajectory(
+            [
+                Waypoint(0.0, Pose2D.at(0, 0, 170.0)),
+                Waypoint(1.0, Pose2D.at(1, 0, -170.0)),
+            ]
+        )
+        # Interpolates through 180, not back through 0.
+        assert traj.pose_at(0.5).heading_deg == pytest.approx(180.0)
+
+    def test_speed(self):
+        assert straight_line(2.0).speed_at(1.0) == pytest.approx(1.0, rel=1e-3)
+
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ChannelError):
+            WaypointTrajectory([Waypoint(0.0, Pose2D.at(0, 0, 0))])
+
+    def test_times_must_increase(self):
+        with pytest.raises(ChannelError):
+            WaypointTrajectory(
+                [
+                    Waypoint(1.0, Pose2D.at(0, 0, 0)),
+                    Waypoint(1.0, Pose2D.at(1, 0, 0)),
+                ]
+            )
+
+
+class TestBlockage:
+    def test_event_window(self):
+        event = BlockageEvent(1.0, 0.5, 25.0)
+        assert not event.active_at(0.99)
+        assert event.active_at(1.0)
+        assert event.active_at(1.49)
+        assert not event.active_at(1.5)
+
+    def test_overlapping_losses_add(self):
+        model = BlockageModel(
+            [BlockageEvent(0.0, 1.0, 20.0), BlockageEvent(0.5, 1.0, 10.0)]
+        )
+        assert model.loss_db_at(0.25) == 20.0
+        assert model.loss_db_at(0.75) == 30.0
+        assert model.loss_db_at(1.25) == 10.0
+
+    def test_blocked_fraction(self):
+        model = BlockageModel([BlockageEvent(0.0, 0.5, 25.0)])
+        assert model.blocked_fraction(0.0, 1.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_pedestrian_factory(self):
+        model = BlockageModel.pedestrian_crossings([1.0, 3.0])
+        assert len(model.events) == 2
+        assert model.loss_db_at(1.2) == 25.0
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ChannelError):
+            BlockageEvent(0.0, 0.0)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ChannelError):
+            BlockageModel().blocked_fraction(1.0, 0.5)
+
+
+class TestMobileSession:
+    def test_clear_path_no_outage(self):
+        sim = MobileSessionSimulator(straight_line(), seed=1)
+        result = sim.run(step_s=0.5)
+        assert result.outage_fraction() == 0.0
+        assert result.mean_snr_db() > 15.0
+
+    def test_blockage_causes_outage(self):
+        blockage = BlockageModel([BlockageEvent(0.8, 0.6, 25.0)])
+        sim = MobileSessionSimulator(straight_line(), blockage=blockage, seed=2)
+        result = sim.run(step_s=0.2)
+        assert result.outage_fraction() > 0.0
+        blocked_steps = [s for s in result.steps if s.blockage_loss_db > 0]
+        assert all(s.in_outage for s in blocked_steps)
+
+    def test_link_recovers_after_blockage(self):
+        blockage = BlockageModel([BlockageEvent(0.4, 0.4, 25.0)])
+        sim = MobileSessionSimulator(straight_line(), blockage=blockage, seed=3)
+        result = sim.run(step_s=0.2)
+        assert not result.steps[-1].in_outage
+
+    def test_tracking_error_bounded_when_clear(self):
+        sim = MobileSessionSimulator(straight_line(), seed=4)
+        result = sim.run(step_s=0.5)
+        assert result.worst_tracking_error_m() < 0.2
+
+    def test_invalid_step_rejected(self):
+        sim = MobileSessionSimulator(straight_line(), seed=5)
+        with pytest.raises(ConfigurationError):
+            sim.run(step_s=0.0)

@@ -1,0 +1,204 @@
+"""Node-side tests: config, modulator, demodulator, firmware, facade."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signal import Signal
+from repro.errors import ConfigurationError, DecodingError, ProtocolError
+from repro.hardware.envelope_detector import EnvelopeDetector
+from repro.hardware.switch import SpdtSwitch, SwitchState
+from repro.node.config import NodeConfig
+from repro.node.demodulator import OaqfmDemodulator, measure_level_sinr_db
+from repro.node.firmware import NodeFirmware, PayloadDirection
+from repro.node.modulator import UplinkModulator
+from repro.node.node import BackscatterNode
+
+
+class TestNodeConfig:
+    def test_max_uplink_rate_paper_value(self):
+        assert NodeConfig().max_uplink_bit_rate_bps() == pytest.approx(160e6)
+
+    def test_max_downlink_rate_paper_value(self):
+        assert NodeConfig().max_downlink_bit_rate_bps() == pytest.approx(36e6)
+
+    def test_uplink_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            NodeConfig().validate_uplink_rate(200e6)
+
+    def test_downlink_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            NodeConfig().validate_downlink_rate(50e6)
+
+    def test_slower_switch_lowers_ceiling(self):
+        config = NodeConfig(
+            switch_a=SpdtSwitch(max_toggle_rate_hz=10e6),
+            switch_b=SpdtSwitch(max_toggle_rate_hz=10e6),
+        )
+        assert config.max_uplink_bit_rate_bps() == pytest.approx(20e6)
+
+    def test_slowest_component_wins(self):
+        config = NodeConfig(
+            switch_a=SpdtSwitch(max_toggle_rate_hz=10e6),
+            switch_b=SpdtSwitch(max_toggle_rate_hz=80e6),
+        )
+        assert config.max_uplink_bit_rate_bps() == pytest.approx(20e6)
+
+
+class TestUplinkModulator:
+    def test_gate_lengths(self):
+        gates = UplinkModulator().gates_for_bits([1, 0, 0, 1], 10e6, 80e6)
+        assert gates.n_symbols == 2
+        assert gates.gate_a.size == 2 * gates.samples_per_symbol
+
+    def test_symbol_rate_is_half_bit_rate(self):
+        gates = UplinkModulator().gates_for_bits([1, 0], 10e6, 80e6)
+        assert gates.symbol_rate_hz == pytest.approx(5e6)
+
+    def test_rate_above_ceiling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UplinkModulator().gates_for_bits([1, 0], 200e6, 1.6e9)
+
+    def test_too_few_samples_per_symbol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UplinkModulator().gates_for_bits([1, 0], 10e6, 10e6)
+
+    def test_localization_gates_square_wave(self):
+        gates = UplinkModulator().localization_gates(1e-3, 1e6, toggle_rate_hz=10e3)
+        # 10 kHz square wave: 50 samples on, 50 off at 1 MHz.
+        assert gates.gate_a[:50].sum() == 50
+        assert gates.gate_a[50:100].sum() == 0
+
+    def test_localization_single_port_mode(self):
+        gates = UplinkModulator().localization_gates(1e-4, 1e6, port="A")
+        assert gates.gate_a.any()
+        assert not gates.gate_b.any()
+
+    def test_localization_bad_port_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UplinkModulator().localization_gates(1e-4, 1e6, port="X")
+
+
+class TestSinrMeter:
+    def test_known_sinr(self):
+        rng = np.random.default_rng(0)
+        n = 4000
+        sigma = 0.01
+        levels = np.concatenate([np.zeros(n), np.ones(n)]) + sigma * rng.standard_normal(2 * n)
+        # SNR = sep^2/(8 sigma^2) = 1/(8e-4) = 31 dB.
+        assert measure_level_sinr_db(levels) == pytest.approx(31.0, abs=0.5)
+
+    def test_too_few_symbols_raises(self):
+        with pytest.raises(DecodingError):
+            measure_level_sinr_db(np.array([0.0, 1.0]))
+
+    def test_single_cluster_raises(self):
+        with pytest.raises(DecodingError):
+            measure_level_sinr_db(np.full(10, 1.0))
+
+    def test_noiseless_saturates(self):
+        levels = np.array([0.0, 0.0, 0.0, 1.0, 1.0, 1.0])
+        assert measure_level_sinr_db(levels) >= 80.0
+
+
+class TestOaqfmDemodulator:
+    def make_detector_signal(self, port_levels, samples_per_symbol=64, fs=64e6):
+        samples = np.repeat(np.asarray(port_levels, dtype=float), samples_per_symbol)
+        return Signal(samples.astype(complex), fs)
+
+    def test_decodes_all_four_symbols(self):
+        # Symbols 10, 01, 11, 00.
+        a = self.make_detector_signal([1.0, 0.0, 1.0, 0.0])
+        b = self.make_detector_signal([0.0, 1.0, 1.0, 0.0])
+        result = OaqfmDemodulator().decode(a, b, 1e6, 4)
+        assert list(result.bits) == [1, 0, 0, 1, 1, 1, 0, 0]
+
+    def test_decode_ook_single_port(self):
+        det = self.make_detector_signal([1.0, 0.0, 1.0, 1.0])
+        bits, sinr = OaqfmDemodulator().decode_ook(det, 1e6, 4)
+        assert list(bits) == [1, 0, 1, 1]
+
+    def test_sinr_nan_for_constant_payload(self):
+        a = self.make_detector_signal([1.0, 1.0, 1.0, 1.0])
+        b = self.make_detector_signal([0.0, 0.0, 0.0, 0.0])
+        result = OaqfmDemodulator().decode(a, b, 1e6, 4)
+        assert np.isnan(result.sinr_a_db)
+
+    def test_bottleneck_port_reported(self):
+        rng = np.random.default_rng(1)
+        a = self.make_detector_signal([1.0, 0.0] * 8)
+        b = self.make_detector_signal([0.0, 1.0] * 8)
+        b.samples += 0.2 * rng.standard_normal(b.samples.size)
+        result = OaqfmDemodulator().decode(a, b, 1e6, 16)
+        assert result.sinr_db == result.sinr_b_db
+
+
+class TestFirmware:
+    def make_adc(self, slot_energies, fs=1e6):
+        fw = NodeFirmware()
+        slot_samples = int(round(fw.chirp.duration_s * fs))
+        pieces = []
+        rng = np.random.default_rng(0)
+        for energy in slot_energies:
+            base = 1e-4 * rng.standard_normal(slot_samples)
+            if energy:
+                mid = slot_samples // 2
+                base[mid - 3 : mid + 3] += 0.05
+            pieces.append(base)
+        return Signal(np.concatenate(pieces).astype(complex), fs)
+
+    def test_three_chirps_means_uplink(self):
+        fw = NodeFirmware()
+        adc = self.make_adc([1, 1, 1])
+        decision = fw.classify_field1(adc, adc)
+        assert decision.direction is PayloadDirection.UPLINK
+
+    def test_gap_means_downlink(self):
+        fw = NodeFirmware()
+        adc = self.make_adc([1, 0, 1])
+        decision = fw.classify_field1(adc, adc)
+        assert decision.direction is PayloadDirection.DOWNLINK
+
+    def test_missing_first_chirp_raises(self):
+        fw = NodeFirmware()
+        adc = self.make_adc([0, 1, 1])
+        with pytest.raises(ProtocolError):
+            fw.classify_field1(adc, adc)
+
+    def test_short_capture_raises(self):
+        fw = NodeFirmware()
+        adc = Signal(np.zeros(10, dtype=complex), 1e6)
+        with pytest.raises(ProtocolError):
+            fw.classify_field1(adc, adc)
+
+    def test_configure_for_downlink_absorbs(self):
+        fw = NodeFirmware()
+        fw.configure_for_payload(PayloadDirection.DOWNLINK)
+        assert fw.config.switch_a.state is SwitchState.ABSORB
+        assert fw.config.switch_b.state is SwitchState.ABSORB
+
+    def test_configure_for_uplink_reflects(self):
+        fw = NodeFirmware()
+        fw.configure_for_payload(PayloadDirection.UPLINK)
+        assert fw.config.switch_a.state is SwitchState.REFLECT
+
+
+class TestBackscatterNode:
+    def test_port_state_control(self):
+        node = BackscatterNode()
+        node.set_port_states(SwitchState.REFLECT, SwitchState.ABSORB)
+        refl_a, refl_b = node.port_reflection_amplitudes()
+        assert refl_a > 0.5
+        assert refl_b < 0.1
+
+    def test_rate_ceilings(self):
+        node = BackscatterNode()
+        assert node.max_uplink_rate_bps() == pytest.approx(160e6)
+        assert node.max_downlink_rate_bps() == pytest.approx(36e6)
+
+    def test_power_budget_rejects_zero_rate(self):
+        with pytest.raises(ConfigurationError):
+            BackscatterNode().power_budget(uplink_bit_rate_bps=0.0)
+
+    def test_fsa_shared_between_components(self):
+        node = BackscatterNode()
+        assert node.orientation_estimator.fsa is node.fsa

@@ -1,0 +1,160 @@
+"""Noise model and symbol-DSP tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.modulation import (
+    bits_from_levels,
+    estimate_threshold,
+    symbol_integrate,
+    threshold_slice,
+)
+from repro.dsp.noise import (
+    add_noise,
+    awgn,
+    complex_gaussian,
+    thermal_noise_power_dbm,
+    thermal_noise_power_w,
+)
+from repro.dsp.signal import Signal
+from repro.errors import ConfigurationError, DecodingError, SignalError
+
+
+class TestThermalNoise:
+    def test_ktb_at_1hz(self):
+        # -174 dBm/Hz at 290 K.
+        assert thermal_noise_power_dbm(1.0) == pytest.approx(-173.98, abs=0.05)
+
+    def test_bandwidth_scaling(self):
+        assert thermal_noise_power_dbm(1e6) == pytest.approx(-113.98, abs=0.05)
+
+    def test_noise_figure_adds_db(self):
+        base = thermal_noise_power_dbm(1e6)
+        assert thermal_noise_power_dbm(1e6, 5.0) == pytest.approx(base + 5.0)
+
+    def test_10_vs_40_mbps_gap_is_6db(self):
+        # The Fig. 15 bandwidth penalty.
+        gap = thermal_noise_power_dbm(40e6) - thermal_noise_power_dbm(10e6)
+        assert gap == pytest.approx(6.02, abs=0.01)
+
+    def test_nonpositive_bandwidth_raises(self):
+        with pytest.raises(ConfigurationError):
+            thermal_noise_power_w(0.0)
+
+
+class TestAwgn:
+    def test_noise_power_matches_request(self):
+        s = Signal(np.zeros(200_000, dtype=complex), 1e6)
+        noisy = awgn(s, 1e-6, rng=3)
+        assert noisy.mean_power_w() == pytest.approx(1e-6, rel=0.02)
+
+    def test_zero_power_noise_is_identity(self):
+        s = Signal(np.ones(100, dtype=complex), 1e6)
+        assert np.allclose(awgn(s, 0.0, rng=1).samples, s.samples)
+
+    def test_negative_power_raises(self):
+        with pytest.raises(ConfigurationError):
+            complex_gaussian(10, -1.0)
+
+    def test_deterministic_with_seed(self):
+        s = Signal(np.zeros(100, dtype=complex), 1e6)
+        a = awgn(s, 1e-3, rng=9)
+        b = awgn(s, 1e-3, rng=9)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_add_noise_post_filter_power(self):
+        # add_noise at fs, then ideal band selection of B, leaves ~kT*B*NF.
+        fs = 1e8
+        s = Signal(np.zeros(400_000, dtype=complex), fs)
+        noisy = add_noise(s, noise_figure_db=0.0)
+        assert noisy.mean_power_w() == pytest.approx(
+            thermal_noise_power_w(fs), rel=0.05
+        )
+
+
+class TestSymbolIntegrate:
+    def make_levels_signal(self, levels, samples_per_symbol=100, fs=1e6):
+        samples = np.repeat(np.asarray(levels, dtype=float), samples_per_symbol)
+        return Signal(samples.astype(complex), fs)
+
+    def test_recovers_levels(self):
+        s = self.make_levels_signal([0.0, 1.0, 0.5])
+        out = symbol_integrate(s, 100e-6, 3)
+        assert np.allclose(out, [0.0, 1.0, 0.5], atol=1e-9)
+
+    def test_guard_excludes_edges(self):
+        # Corrupt the first 10% of each symbol; integration must ignore it.
+        s = self.make_levels_signal([1.0, 1.0])
+        s.samples[:10] = 100.0
+        s.samples[100:110] = 100.0
+        out = symbol_integrate(s, 100e-6, 2)
+        assert np.allclose(out, 1.0)
+
+    def test_too_many_symbols_raises(self):
+        s = self.make_levels_signal([1.0])
+        with pytest.raises(DecodingError):
+            symbol_integrate(s, 100e-6, 5)
+
+    def test_zero_symbols_raises(self):
+        s = self.make_levels_signal([1.0])
+        with pytest.raises(DecodingError):
+            symbol_integrate(s, 100e-6, 0)
+
+
+class TestThreshold:
+    def test_balanced_clusters(self):
+        levels = np.array([0.0, 0.0, 1.0, 1.0])
+        thr = estimate_threshold(levels)
+        assert 0.0 < thr < 1.0
+
+    def test_unbalanced_clusters(self):
+        # 90% zeros: plain midpoint would drift; Lloyd iteration holds.
+        levels = np.concatenate([np.zeros(90), np.ones(10)])
+        thr = estimate_threshold(levels)
+        assert 0.2 < thr < 0.8
+
+    def test_constant_high_levels_slice_to_one(self):
+        # A burst of all-ones: the detector reads a level far above zero
+        # in every slot; the slicer must call them all ones.
+        bits = threshold_slice(np.full(8, 3.3))
+        assert bits.all()
+
+    def test_constant_zero_levels_slice_to_zero(self):
+        bits = threshold_slice(np.zeros(8))
+        assert not bits.any()
+
+    def test_joint_floor_suppresses_noise_only_port(self):
+        # Port A carries solid "on" symbols; port B sees only detector
+        # noise. The shared-scale floor must keep B all-zero.
+        rng = np.random.default_rng(0)
+        a = np.full(4, 1.0e-2) + 1e-4 * rng.standard_normal(4)
+        b = 1e-4 * rng.standard_normal(4)
+        bits = bits_from_levels(a, b)
+        assert list(bits[0::2]) == [1, 1, 1, 1]
+        assert not bits[1::2].any()
+
+    def test_empty_raises(self):
+        with pytest.raises(DecodingError):
+            estimate_threshold(np.array([]))
+
+    @settings(max_examples=30)
+    @given(st.lists(st.sampled_from([0, 1]), min_size=4, max_size=64))
+    def test_noisy_slicing_recovers_bits(self, bits):
+        if len(set(bits)) < 2:
+            return  # single-cluster streams legitimately slice to zeros
+        rng = np.random.default_rng(42)
+        levels = np.asarray(bits, dtype=float) + 0.05 * rng.standard_normal(len(bits))
+        assert np.array_equal(threshold_slice(levels), np.asarray(bits, dtype=np.uint8))
+
+
+class TestBitsFromLevels:
+    def test_interleaving_order(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        bits = bits_from_levels(a, b, threshold_a=0.5, threshold_b=0.5)
+        assert list(bits) == [1, 0, 0, 1]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(SignalError):
+            bits_from_levels(np.ones(3), np.ones(4))

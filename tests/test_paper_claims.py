@@ -1,0 +1,174 @@
+"""One test per quotable claim in the paper.
+
+Each test names the section it checks and asserts the claim against the
+simulation. This is the reviewer's index: if the paper says it, there is
+a line here that demonstrates it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.antennas.dual_port_fsa import DualPortFsa
+from repro.baselines.comparison import MilBackSystem
+from repro.baselines.mmtag import MmTagSystem
+from repro.channel.scene import Scene2D
+from repro.hardware.power import NodeMode
+from repro.node.node import BackscatterNode
+from repro.phy.ber import ook_matched_filter_ber
+from repro.sim.engine import MilBackSimulator
+
+
+def sims_at(distance, orientation=10.0, seeds=range(4)):
+    return [
+        MilBackSimulator(
+            Scene2D.single_node(distance, orientation_deg=orientation), seed=s
+        )
+        for s in seeds
+    ]
+
+
+class TestSection2Background:
+    def test_fsa_covers_60deg_with_3ghz(self):
+        """§2: 'Our FSA design covers over 60° azimuth angle with only
+        3 GHz bandwidth' — versus [37]'s 10 GHz for 48°."""
+        fsa = DualPortFsa()
+        assert fsa.scan_coverage_deg() >= 59.0
+        band = fsa.band_hz[1] - fsa.band_hz[0]
+        assert band == pytest.approx(3e9)
+        # Scan efficiency beats the cited prior work by >4x.
+        ours = fsa.scan_coverage_deg() / (band / 1e9)  # deg per GHz
+        theirs = 48.0 / 10.0
+        assert ours > 4.0 * theirs
+
+    def test_fmcw_tof_relation(self):
+        """§2: ToF = Δf / slope."""
+        from repro.ap.fmcw import FmcwProcessor
+
+        proc = FmcwProcessor()
+        tof = 2.0 * 5.0 / 299792458.0
+        beat = proc.distance_to_beat_hz(5.0)
+        assert beat / proc.chirp.slope_hz_per_s == pytest.approx(tof, rel=1e-12)
+
+
+class TestSection9Evaluation:
+    def test_abstract_8m_range_at_paper_powers(self):
+        """Abstract: 'localization, uplink, and downlink communication at
+        up to 8 m while consuming only 32 mW and 18 mW'."""
+        bits = np.random.default_rng(0).integers(0, 2, 64)
+        delivered = 0
+        for sim in sims_at(8.0):
+            loc_ok = abs(sim.simulate_localization().distance_error_m) < 0.25
+            up_ok = sim.simulate_uplink(bits, 10e6).ber < 0.01
+            down_ok = sim.simulate_downlink(bits, 2e6).ber < 0.01
+            delivered += loc_ok and up_ok and down_ok
+        assert delivered >= 3
+        node = BackscatterNode()
+        assert node.power_w(NodeMode.UPLINK) == pytest.approx(32e-3)
+        assert node.power_w(NodeMode.DOWNLINK) == pytest.approx(18e-3)
+
+    def test_921_ranging_claim(self):
+        """§9.2: 'mean accuracy is less than 5 cm and 12 cm, even when
+        the node is 5 m and 8 m away'."""
+        for distance, bound in ((5.0, 0.05), (8.0, 0.12)):
+            errors = [
+                abs(sim.simulate_localization().distance_error_m)
+                for sim in sims_at(distance, seeds=range(8))
+            ]
+            assert float(np.mean(errors)) < bound
+
+    def test_933_orientation_error_tolerance(self):
+        """§9.3: '3-4 degree error in estimating the node's orientation
+        will not impact on the performance of communication'."""
+        bits = np.random.default_rng(1).integers(0, 2, 64)
+        sim = MilBackSimulator(Scene2D.single_node(3.0, orientation_deg=10.0), seed=2)
+        pair = sim.ap.tone_pair_for_orientation(10.0 + 3.5)
+        assert sim.simulate_downlink(bits, 2e6, pair=pair).ber == 0.0
+
+    def test_94_downlink_sinr_to_ber(self):
+        """§9.4: 'SINR of more than 12 dB ... more than enough to enable
+        very low BER (i.e. less than 1e-8)'."""
+        assert float(ook_matched_filter_ber(12.0)) < 1.1e-8
+
+    def test_94_downlink_ceiling(self):
+        """§9.4: 'maximum downlink data rate of MilBack is 36 Mbps'."""
+        assert BackscatterNode().max_downlink_rate_bps() == pytest.approx(36e6)
+
+    def test_95_uplink_ceiling(self):
+        """§9.5: 'maximum uplink data rate that the node can operate is
+        160 Mbps ... limited by switching speed'."""
+        assert BackscatterNode().max_uplink_rate_bps() == pytest.approx(160e6)
+
+    def test_95_downlink_beats_uplink_snr(self):
+        """§9.5: 'MilBack achieves higher SNR in downlink compared to the
+        uplink ... the signal gets attenuated by the channel twice'."""
+        bits = np.random.default_rng(2).integers(0, 2, 64)
+        for distance in (8.0, 10.0):
+            downs, ups = [], []
+            for seed in range(4):
+                sim = MilBackSimulator(
+                    Scene2D.single_node(distance, orientation_deg=10.0), seed=seed
+                )
+                downs.append(sim.simulate_downlink(bits, 2e6).sinr_db)
+                sim = MilBackSimulator(
+                    Scene2D.single_node(distance, orientation_deg=10.0), seed=seed
+                )
+                ups.append(sim.simulate_uplink(bits, 10e6).snr_db)
+            # The 1/d^4 uplink falls below the 1/d^2 downlink, and the
+            # gap widens with distance.
+            assert float(np.mean(downs)) > float(np.mean(ups))
+
+    def test_96_energy_efficiency_beats_mmtag_3x(self):
+        """§9.6: '0.5 nJ/bits and 0.8 nJ/bit ... much lower than ...
+        2.4 nJ/bit'."""
+        milback = MilBackSystem().energy_per_bit_j()
+        mmtag = MmTagSystem().energy_per_bit_j()
+        assert mmtag / milback == pytest.approx(3.0, rel=0.01)
+        assert MilBackSystem().downlink_energy_per_bit_j() == pytest.approx(0.5e-9)
+
+
+class TestSection11Conclusion:
+    def test_range_and_rate_levers(self):
+        """§11: 'both range and data-rate can be further increased by
+        designing a larger FSA and faster switches'."""
+        from repro.experiments.ablations import (
+            run_detector_bandwidth_ablation,
+            run_fsa_size_ablation,
+            run_switch_rate_ablation,
+        )
+
+        fsa_rows = run_fsa_size_ablation(element_counts=(16, 32))
+        assert fsa_rows[1]["Uplink SNR (dB)"] > fsa_rows[0]["Uplink SNR (dB)"]
+        switch_rows = run_switch_rate_ablation(toggle_rates_hz=(80e6, 320e6))
+        assert switch_rows[1]["Max uplink rate (Mbps)"] > switch_rows[0][
+            "Max uplink rate (Mbps)"
+        ]
+
+
+class TestDeterminism:
+    def test_full_session_reproducible(self):
+        """Same seed, same everything — the property all sweeps rest on."""
+        from repro.protocol.link import MilBackLink
+
+        def run():
+            scene = Scene2D.single_node(3.0, orientation_deg=10.0)
+            link = MilBackLink(MilBackSimulator(scene, seed=123))
+            a = link.receive_from_node(b"deterministic?", bit_rate_bps=10e6)
+            b = link.send_to_node(b"yes", bit_rate_bps=2e6)
+            return (
+                a.link_quality_db,
+                a.localization.distance_est_m,
+                b.link_quality_db,
+                b.node_orientation.orientation_est_deg,
+            )
+
+        assert run() == run()
+
+
+class TestHighRateUplink:
+    @pytest.mark.parametrize("rate", [80e6, 160e6])
+    def test_max_rates_run_end_to_end(self, rate):
+        """The switch-limited ladder top actually decodes at short range."""
+        bits = np.random.default_rng(3).integers(0, 2, 64)
+        sim = MilBackSimulator(Scene2D.single_node(1.5, orientation_deg=10.0), seed=4)
+        result = sim.simulate_uplink(bits, rate)
+        assert result.ber < 0.05

@@ -1,0 +1,58 @@
+"""ASCII plot helper tests (repro.analysis.plots)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import ascii_plot
+from repro.errors import ConfigurationError
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot([1, 2, 3], {"a": [1.0, 2.0, 3.0]})
+        assert "* a" in out
+        assert "|" in out
+
+    def test_axis_labels(self):
+        out = ascii_plot([0, 10], {"s": [5, 6]}, x_label="m", y_label="dB")
+        assert "x: m" in out and "y: dB" in out
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = ascii_plot([1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "* a" in out and "+ b" in out
+
+    def test_monotone_series_renders_monotone(self):
+        out = ascii_plot(list(range(10)), {"up": list(range(10))}, width=20, height=10)
+        rows = [line.split("|")[1] for line in out.splitlines() if "|" in line]
+        cols = []
+        for r, row in enumerate(rows):
+            for c, ch in enumerate(row):
+                if ch == "*":
+                    cols.append((c, r))
+        cols.sort()
+        row_positions = [r for _, r in cols]
+        assert row_positions == sorted(row_positions, reverse=True)
+
+    def test_nan_points_skipped(self):
+        out = ascii_plot([1, 2, 3], {"a": [1.0, float("nan"), 3.0]})
+        assert out.count("*") >= 2
+
+    def test_flat_series_ok(self):
+        out = ascii_plot([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in out
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1, 2], {})
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1], {"a": [1]})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1, 2, 3], {"a": [1, 2]})
+
+    def test_value_ranges_in_labels(self):
+        out = ascii_plot([0, 4], {"a": [-2.5, 7.5]})
+        assert "7.5" in out and "-2.5" in out

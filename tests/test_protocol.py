@@ -1,0 +1,175 @@
+"""Protocol layer tests: packets, link sessions, SDM MAC, events."""
+
+import numpy as np
+import pytest
+
+from repro.channel.scene import NodePlacement, Scene2D
+from repro.errors import ProtocolError
+from repro.node.firmware import PayloadDirection
+from repro.protocol.events import EventLog
+from repro.protocol.link import MilBackLink
+from repro.protocol.mac import SdmScheduler
+from repro.protocol.packet import Packet, PacketSchedule
+from repro.sim.engine import MilBackSimulator
+from repro.utils.geometry import Pose2D
+
+
+class TestPacketSchedule:
+    def test_field1_duration(self):
+        # Three 45 us slots.
+        assert PacketSchedule().field1_duration_s == pytest.approx(135e-6)
+
+    def test_field2_duration(self):
+        # Five chirps at 50 us repetition.
+        assert PacketSchedule().field2_duration_s == pytest.approx(250e-6)
+
+    def test_payload_duration(self):
+        schedule = PacketSchedule()
+        assert schedule.payload_duration_s(1000, 10e6) == pytest.approx(100e-6)
+
+    def test_goodput_below_raw_rate(self):
+        schedule = PacketSchedule()
+        assert schedule.goodput_bps(1000, 10e6) < 10e6
+
+    def test_goodput_approaches_rate_for_long_payloads(self):
+        schedule = PacketSchedule()
+        assert schedule.goodput_bps(10_000_000, 10e6) > 9.5e6
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ProtocolError):
+            PacketSchedule().payload_duration_s(100, 0.0)
+
+
+class TestPacket:
+    def test_duration_includes_preamble(self):
+        packet = Packet(PayloadDirection.UPLINK, b"x" * 100, 10e6)
+        assert packet.duration_s() > PacketSchedule().preamble_duration_s
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            Packet(PayloadDirection.UPLINK, b"", 10e6)
+
+    def test_bits_count(self):
+        packet = Packet(PayloadDirection.DOWNLINK, b"ab", 1e6)
+        assert packet.n_payload_bits == 16
+
+
+class TestEventLog:
+    def test_clock_advances(self):
+        log = EventLog()
+        log.advance(1e-3)
+        assert log.now_s == pytest.approx(1e-3)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().advance(-1.0)
+
+    def test_record_and_filter(self):
+        log = EventLog()
+        log.record("a", x=1)
+        log.advance(1.0)
+        log.record("b", y=2)
+        assert len(log) == 2
+        assert len(log.events("a")) == 1
+        assert log.events("b")[0].time_s == pytest.approx(1.0)
+
+    def test_render_contains_kind(self):
+        log = EventLog()
+        log.record("field1", direction="uplink")
+        assert "field1" in log.render()
+
+
+class TestMilBackLink:
+    @pytest.fixture
+    def link(self):
+        scene = Scene2D.single_node(2.5, orientation_deg=10.0)
+        return MilBackLink(MilBackSimulator(scene, seed=33))
+
+    def test_downlink_session_delivers(self, link):
+        result = link.send_to_node(b"hello node", bit_rate_bps=4e6)
+        assert result.delivered
+        assert result.direction is PayloadDirection.DOWNLINK
+
+    def test_uplink_session_delivers(self, link):
+        result = link.receive_from_node(b"sensor: 42", bit_rate_bps=10e6)
+        assert result.delivered
+        assert result.direction is PayloadDirection.UPLINK
+
+    def test_session_includes_localization(self, link):
+        result = link.receive_from_node(b"x", bit_rate_bps=10e6)
+        assert result.localization.distance_est_m == pytest.approx(2.5, abs=0.1)
+
+    def test_session_includes_orientations(self, link):
+        result = link.send_to_node(b"y", bit_rate_bps=2e6)
+        assert abs(result.ap_orientation.error_deg) < 4.0
+        assert abs(result.node_orientation.error_deg) < 4.0
+
+    def test_air_time_accounted(self, link):
+        result = link.send_to_node(b"z", bit_rate_bps=2e6)
+        assert result.air_time_s > PacketSchedule().preamble_duration_s
+
+    def test_events_logged_in_order(self, link):
+        link.send_to_node(b"q", bit_rate_bps=2e6)
+        kinds = [e.kind for e in link.log]
+        assert kinds == ["field1", "field2", "payload"]
+
+    def test_empty_payload_rejected(self, link):
+        with pytest.raises(ProtocolError):
+            link.send_to_node(b"")
+
+    def test_localize_standalone(self, link):
+        fix = link.localize()
+        assert abs(fix.distance_error_m) < 0.1
+
+
+class TestSdmScheduler:
+    def multi_node_scene(self, azimuths):
+        scene = Scene2D.single_node(3.0, azimuth_deg=azimuths[0], node_id="node-0")
+        for i, az in enumerate(azimuths[1:], start=1):
+            import math
+
+            x = 3.0 * math.cos(math.radians(az))
+            y = 3.0 * math.sin(math.radians(az))
+            scene = scene.with_node(
+                NodePlacement(Pose2D.at(x, y, az + 180.0), f"node-{i}")
+            )
+        return scene
+
+    def test_well_separated_nodes_share_slot(self):
+        scene = self.multi_node_scene([-25.0, 0.0, 25.0])
+        scheduler = SdmScheduler(scene, min_separation_deg=18.0)
+        groups = scheduler.schedule()
+        assert len(groups) == 1
+        assert scheduler.concurrency() == pytest.approx(3.0)
+
+    def test_close_nodes_serialized(self):
+        scene = self.multi_node_scene([0.0, 5.0])
+        scheduler = SdmScheduler(scene, min_separation_deg=18.0)
+        assert scheduler.slots_needed() == 2
+
+    def test_mixed_grouping(self):
+        scene = self.multi_node_scene([-20.0, -15.0, 20.0])
+        scheduler = SdmScheduler(scene, min_separation_deg=18.0)
+        groups = scheduler.schedule()
+        assert len(groups) == 2
+        total = sum(len(g.node_ids) for g in groups)
+        assert total == 3
+
+    def test_all_nodes_scheduled_exactly_once(self):
+        scene = self.multi_node_scene([-25.0, -10.0, 5.0, 20.0])
+        scheduler = SdmScheduler(scene)
+        scheduled = [n for g in scheduler.schedule() for n in g.node_ids]
+        assert sorted(scheduled) == ["node-0", "node-1", "node-2", "node-3"]
+
+    def test_empty_scene_rejected(self):
+        with pytest.raises(ProtocolError):
+            SdmScheduler(Scene2D())
+
+    def test_invalid_separation_rejected(self):
+        with pytest.raises(ProtocolError):
+            SdmScheduler(Scene2D.single_node(2.0), min_separation_deg=0.0)
+
+    def test_conflict_check(self):
+        scene = self.multi_node_scene([0.0, 4.0])
+        scheduler = SdmScheduler(scene)
+        assert scheduler.conflicts("node-0", "node-1")

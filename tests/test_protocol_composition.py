@@ -1,0 +1,83 @@
+"""Composition properties across the protocol stack."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.scene import NodePlacement, Scene2D
+from repro.phy.coding import hamming74_decode, hamming74_encode
+from repro.phy.framing import decode_frame, encode_frame
+from repro.phy.scrambling import descramble, scramble
+from repro.protocol.inventory import SlottedInventory
+from repro.utils.geometry import Pose2D
+
+
+class TestPipelineCompositions:
+    @settings(max_examples=30)
+    @given(st.binary(min_size=1, max_size=32))
+    def test_frame_scramble_roundtrip(self, payload):
+        bits = scramble(encode_frame(payload))
+        header, decoded = decode_frame(descramble(bits))
+        assert header.crc_ok
+        assert decoded == payload
+
+    @settings(max_examples=20)
+    @given(st.binary(min_size=1, max_size=16))
+    def test_frame_scramble_fec_roundtrip(self, payload):
+        # The full use_fec + use_scrambling transmit pipeline, inverted.
+        tx = hamming74_encode(scramble(encode_frame(payload)))
+        rx, _ = hamming74_decode(tx)
+        header, decoded = decode_frame(descramble(rx))
+        assert header.crc_ok
+        assert decoded == payload
+
+    @settings(max_examples=20)
+    @given(st.binary(min_size=1, max_size=16), st.integers(min_value=0, max_value=200))
+    def test_pipeline_survives_single_air_error(self, payload, flip_seed):
+        tx = hamming74_encode(scramble(encode_frame(payload)))
+        rng = np.random.default_rng(flip_seed)
+        tx = tx.copy()
+        tx[int(rng.integers(0, tx.size))] ^= 1
+        rx, corrected = hamming74_decode(tx)
+        header, decoded = decode_frame(descramble(rx))
+        assert corrected == 1
+        assert header.crc_ok
+        assert decoded == payload
+
+
+class TestInventoryCompleteness:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-32.0, max_value=32.0),
+            min_size=1,
+            max_size=10,
+            unique_by=lambda a: round(a, 1),
+        ),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_every_tag_eventually_inventoried(self, azimuths, seed):
+        scene = None
+        for i, az in enumerate(azimuths):
+            x = 3.0 * math.cos(math.radians(az))
+            y = 3.0 * math.sin(math.radians(az))
+            placement = NodePlacement(Pose2D.at(x, y, az + 180.0), f"t{i}")
+            scene = (
+                Scene2D(nodes=(placement,)) if scene is None else scene.with_node(placement)
+            )
+        result = SlottedInventory(scene, max_rounds=64, seed=seed).run()
+        assert sorted(result.inventoried) == sorted(f"t{i}" for i in range(len(azimuths)))
+
+    def test_no_tag_inventoried_twice(self):
+        scene = None
+        for i, az in enumerate((-20.0, -10.0, 0.0, 10.0, 20.0)):
+            x = 3.0 * math.cos(math.radians(az))
+            y = 3.0 * math.sin(math.radians(az))
+            placement = NodePlacement(Pose2D.at(x, y, az + 180.0), f"t{i}")
+            scene = (
+                Scene2D(nodes=(placement,)) if scene is None else scene.with_node(placement)
+            )
+        result = SlottedInventory(scene, seed=4).run()
+        assert len(result.inventoried) == len(set(result.inventoried))

@@ -1,0 +1,65 @@
+"""Room-preset tests (repro.channel.rooms)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.rooms import lab, office, random_node_scene, warehouse
+from repro.errors import ChannelError
+from repro.sim.engine import MilBackSimulator
+
+
+class TestPresets:
+    @pytest.mark.parametrize("factory", [office, lab, warehouse])
+    def test_preset_well_formed(self, factory):
+        room = factory()
+        assert room.depth_m > 0
+        assert room.half_width_m > 0
+        assert len(room.clutter) >= 3
+        names = [r.name for r in room.clutter]
+        assert len(names) == len(set(names))
+
+    def test_office_matches_default_clutter(self):
+        from repro.channel.multipath import default_indoor_clutter
+
+        assert list(office().clutter) == default_indoor_clutter()
+
+    def test_scene_has_clutter_but_no_nodes(self):
+        scene = lab().scene()
+        assert scene.nodes == ()
+        assert len(scene.clutter) == 5
+
+
+class TestRandomPlacement:
+    def test_node_inside_room(self):
+        room = office()
+        for seed in range(10):
+            scene = random_node_scene(room, rng=seed)
+            pose = scene.node().pose
+            assert 0 < pose.position.x <= room.depth_m
+            assert abs(pose.position.y) <= room.half_width_m
+
+    def test_orientation_within_scan(self):
+        for seed in range(10):
+            scene = random_node_scene(office(), rng=seed, max_orientation_deg=20.0)
+            assert abs(scene.node_orientation_deg()) <= 20.0 + 1e-9
+
+    def test_deterministic_with_seed(self):
+        a = random_node_scene(office(), rng=5)
+        b = random_node_scene(office(), rng=5)
+        assert a.node().pose == b.node().pose
+
+    def test_invalid_min_distance_rejected(self):
+        with pytest.raises(ChannelError):
+            random_node_scene(office(), min_distance_m=0.0)
+
+    def test_random_scene_is_simulatable(self):
+        scene = random_node_scene(lab(), rng=9)
+        sim = MilBackSimulator(scene, seed=9)
+        result = sim.simulate_localization()
+        assert abs(result.distance_error_m) < 0.3
+
+    def test_warehouse_long_range_placement(self):
+        distances = [
+            random_node_scene(warehouse(), rng=s).node_distance_m() for s in range(30)
+        ]
+        assert max(distances) > 8.0  # the deep aisle gets used

@@ -1,0 +1,81 @@
+"""Scrambler tests (repro.phy.scrambling) and link integration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.scene import Scene2D
+from repro.errors import ConfigurationError
+from repro.phy.scrambling import DEFAULT_SEED, descramble, lfsr_sequence, scramble
+from repro.protocol.link import MilBackLink
+from repro.sim.engine import MilBackSimulator
+
+
+class TestLfsr:
+    def test_period_is_127(self):
+        seq = lfsr_sequence(254)
+        assert np.array_equal(seq[:127], seq[127:254])
+        # Maximal-length: not periodic at any shorter divisor-free lag.
+        assert not np.array_equal(seq[:63], seq[63:126])
+
+    def test_balanced(self):
+        seq = lfsr_sequence(127)
+        # Maximal-length sequences have 64 ones and 63 zeros per period.
+        assert int(seq.sum()) == 64
+
+    def test_seed_changes_stream(self):
+        assert not np.array_equal(lfsr_sequence(64, seed=1), lfsr_sequence(64, seed=5))
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lfsr_sequence(8, seed=0)
+        with pytest.raises(ConfigurationError):
+            lfsr_sequence(8, seed=128)
+
+
+class TestScramble:
+    def test_involution(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 0, 1], dtype=np.uint8)
+        assert np.array_equal(descramble(scramble(bits)), bits)
+
+    @given(st.lists(st.sampled_from([0, 1]), min_size=1, max_size=256))
+    def test_involution_property(self, bits):
+        assert list(descramble(scramble(bits))) == bits
+
+    def test_whitens_all_zeros(self):
+        out = scramble(np.zeros(127, dtype=np.uint8))
+        assert 50 < int(out.sum()) < 80
+
+    def test_whitens_all_ones(self):
+        out = scramble(np.ones(127, dtype=np.uint8))
+        assert 50 < int(out.sum()) < 80
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scramble([0, 2])
+
+
+class TestLinkIntegration:
+    @pytest.mark.parametrize("payload", [b"\x00" * 12, b"\xff" * 12])
+    def test_degenerate_payloads_deliver_when_scrambled(self, payload):
+        scene = Scene2D.single_node(3.0, orientation_deg=10.0)
+        link = MilBackLink(MilBackSimulator(scene, seed=7), use_scrambling=True)
+        up = link.receive_from_node(payload, bit_rate_bps=10e6)
+        assert up.delivered
+        down = link.send_to_node(payload, bit_rate_bps=2e6)
+        assert down.delivered
+
+    def test_scrambling_plus_fec_compose(self):
+        scene = Scene2D.single_node(3.0, orientation_deg=10.0)
+        link = MilBackLink(
+            MilBackSimulator(scene, seed=8), use_fec=True, use_scrambling=True
+        )
+        result = link.receive_from_node(b"\x00" * 8, bit_rate_bps=10e6)
+        assert result.delivered
+
+    def test_normal_payloads_unaffected(self):
+        scene = Scene2D.single_node(3.0, orientation_deg=10.0)
+        plain = MilBackLink(MilBackSimulator(scene, seed=9))
+        scrambled = MilBackLink(MilBackSimulator(scene, seed=9), use_scrambling=True)
+        assert plain.receive_from_node(b"normal data").delivered
+        assert scrambled.receive_from_node(b"normal data").delivered

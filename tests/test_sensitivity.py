@@ -1,0 +1,51 @@
+"""Calibration-sensitivity audit tests (repro.experiments.sensitivity)."""
+
+import pytest
+
+from repro.experiments import sensitivity
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return sensitivity.run_sensitivity(seed=202)
+
+
+def by_knob(rows, name):
+    return next(r for r in rows if r["Knob"] == name)
+
+
+class TestSensitivityDiagonal:
+    """Each knob must drive its calibrated metric and leave the others
+    essentially untouched — the audit DESIGN.md promises."""
+
+    def test_uplink_loss_moves_only_uplink(self, rows):
+        row = by_knob(rows, "uplink_implementation_loss_db")
+        assert abs(row["Δuplink@8m dB (high)"]) > 2.0
+        assert abs(row["Δdownlink@2m dB (high)"]) < 0.5
+        assert abs(row["Δranging@5m cm (high)"]) < 1.0
+
+    def test_downlink_loss_moves_only_downlink(self, rows):
+        row = by_knob(rows, "downlink_implementation_loss_db")
+        assert abs(row["Δdownlink@2m dB (high)"]) > 1.5
+        assert abs(row["Δuplink@8m dB (high)"]) < 0.5
+
+    def test_detector_noise_moves_downlink(self, rows):
+        row = by_knob(rows, "node_detector_noise_v_per_rt_hz")
+        assert row["Δdownlink@2m dB (low)"] > 3.0   # quieter detector helps
+        assert row["Δdownlink@2m dB (high)"] < -3.0
+        assert abs(row["Δuplink@8m dB (high)"]) < 0.5
+
+    def test_slope_error_moves_only_ranging(self, rows):
+        row = by_knob(rows, "slope_error_sigma")
+        assert row["Δranging@5m cm (high)"] > 1.0
+        assert row["Δranging@5m cm (low)"] < -1.0
+        assert abs(row["Δuplink@8m dB (high)"]) < 0.5
+        assert abs(row["Δdownlink@2m dB (high)"]) < 0.5
+
+    def test_every_knob_reported(self, rows):
+        names = {r["Knob"] for r in rows}
+        assert names == {k for k, _, _ in sensitivity.KNOBS}
+
+    def test_main_renders(self):
+        out = sensitivity.main()
+        assert "Calibration sensitivity" in out

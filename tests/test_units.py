@@ -1,0 +1,102 @@
+"""Unit-conversion tests (repro.utils.units)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.utils.units import (
+    db_to_linear,
+    dbm_to_watts,
+    frequency_from_wavelength,
+    linear_to_db,
+    volts_to_dbv,
+    watts_to_dbm,
+    wavelength,
+)
+
+
+class TestDbConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_three_db_is_about_two(self):
+        assert db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_negative_db(self):
+        assert db_to_linear(-20.0) == pytest.approx(0.01)
+
+    def test_linear_to_db_of_unity(self):
+        assert linear_to_db(1.0) == pytest.approx(0.0)
+
+    def test_linear_to_db_clamps_zero(self):
+        # Zero power must not produce -inf/NaN.
+        value = linear_to_db(0.0)
+        assert np.isfinite(value)
+        assert value < -500.0
+
+    def test_linear_to_db_clamps_negative(self):
+        assert np.isfinite(linear_to_db(-1.0))
+
+    def test_array_input(self):
+        out = db_to_linear(np.array([0.0, 10.0, 20.0]))
+        assert np.allclose(out, [1.0, 10.0, 100.0])
+
+    @given(st.floats(min_value=-200.0, max_value=200.0))
+    def test_roundtrip(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+
+class TestDbm:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_30_dbm_is_one_watt(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_ap_tx_power(self):
+        # The paper's 27 dBm AP is ~0.5 W.
+        assert dbm_to_watts(27.0) == pytest.approx(0.501, rel=1e-3)
+
+    def test_watts_to_dbm_roundtrip(self):
+        assert watts_to_dbm(dbm_to_watts(-42.5)) == pytest.approx(-42.5)
+
+    @given(st.floats(min_value=-150.0, max_value=60.0))
+    def test_roundtrip_property(self, dbm):
+        assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+
+class TestVolts:
+    def test_one_volt_is_zero_dbv(self):
+        assert volts_to_dbv(1.0) == pytest.approx(0.0)
+
+    def test_voltage_uses_20log(self):
+        assert volts_to_dbv(10.0) == pytest.approx(20.0)
+
+    def test_negative_voltage_uses_magnitude(self):
+        assert volts_to_dbv(-1.0) == pytest.approx(0.0)
+
+
+class TestWavelength:
+    def test_28ghz_is_about_1cm(self):
+        assert wavelength(28e9) == pytest.approx(0.0107, rel=1e-2)
+
+    def test_roundtrip(self):
+        assert frequency_from_wavelength(wavelength(26.5e9)) == pytest.approx(26.5e9)
+
+    def test_wavelength_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            wavelength(0.0)
+
+    def test_frequency_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            frequency_from_wavelength(-1.0)
+
+    @given(st.floats(min_value=1e6, max_value=1e12))
+    def test_product_is_c(self, freq):
+        assert wavelength(freq) * freq == pytest.approx(SPEED_OF_LIGHT, rel=1e-12)

@@ -1,0 +1,175 @@
+"""Waveform synthesis tests (repro.dsp.waveforms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import (
+    BAND_START_HZ,
+    BAND_STOP_HZ,
+    FIELD1_CHIRP_DURATION_S,
+    FIELD2_CHIRP_DURATION_S,
+)
+from repro.dsp.fftutils import interpolated_peak, windowed_fft
+from repro.dsp.waveforms import (
+    SawtoothChirp,
+    TriangularChirp,
+    multi_tone,
+    ook_stream,
+    sawtooth_chirp,
+    tone,
+    triangular_chirp,
+    two_tone,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSawtoothChirpConfig:
+    def test_defaults_match_paper(self):
+        c = SawtoothChirp()
+        assert c.start_hz == BAND_START_HZ
+        assert c.stop_hz == BAND_STOP_HZ
+        assert c.duration_s == FIELD2_CHIRP_DURATION_S
+
+    def test_bandwidth(self):
+        assert SawtoothChirp().bandwidth_hz == pytest.approx(3e9)
+
+    def test_slope(self):
+        assert SawtoothChirp().slope_hz_per_s == pytest.approx(3e9 / 18e-6)
+
+    def test_range_resolution_is_5cm(self):
+        assert SawtoothChirp().range_resolution_m() == pytest.approx(0.05, rel=1e-3)
+
+    def test_instantaneous_frequency_endpoints(self):
+        c = SawtoothChirp()
+        assert c.instantaneous_frequency_hz(0.0) == pytest.approx(c.start_hz)
+        mid = c.instantaneous_frequency_hz(c.duration_s / 2)
+        assert mid == pytest.approx(c.center_hz)
+
+    def test_frequency_wraps_modulo_duration(self):
+        c = SawtoothChirp()
+        assert c.instantaneous_frequency_hz(c.duration_s + 1e-6) == pytest.approx(
+            c.instantaneous_frequency_hz(1e-6)
+        )
+
+    def test_rejects_downward_sweep(self):
+        with pytest.raises(ConfigurationError):
+            SawtoothChirp(start_hz=29e9, stop_hz=26e9)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ConfigurationError):
+            SawtoothChirp(duration_s=0.0)
+
+
+class TestTriangularChirpConfig:
+    def test_defaults_match_paper(self):
+        c = TriangularChirp()
+        assert c.duration_s == FIELD1_CHIRP_DURATION_S
+
+    def test_symmetric_sweep(self):
+        c = TriangularChirp()
+        f_up = c.instantaneous_frequency_hz(c.duration_s * 0.25)
+        f_down = c.instantaneous_frequency_hz(c.duration_s * 0.75)
+        assert f_up == pytest.approx(f_down, rel=1e-9)
+
+    def test_peak_at_half_duration(self):
+        c = TriangularChirp()
+        assert c.instantaneous_frequency_hz(c.half_duration_s) == pytest.approx(
+            c.stop_hz, rel=1e-6
+        )
+
+    def test_crossing_times_ordered(self):
+        c = TriangularChirp()
+        t_up, t_down = c.crossing_times_s(28e9)
+        assert 0 <= t_up < c.half_duration_s < t_down <= c.duration_s
+
+    def test_crossing_out_of_band_raises(self):
+        with pytest.raises(ConfigurationError):
+            TriangularChirp().crossing_times_s(40e9)
+
+    @given(st.floats(min_value=26.5e9, max_value=29.5e9))
+    def test_gap_roundtrip(self, freq):
+        c = TriangularChirp()
+        t_up, t_down = c.crossing_times_s(freq)
+        assert c.frequency_from_peak_gap(t_down - t_up) == pytest.approx(freq, rel=1e-9)
+
+    def test_gap_clipped_to_physical(self):
+        c = TriangularChirp()
+        assert c.frequency_from_peak_gap(-1.0) == pytest.approx(c.stop_hz)
+        assert c.frequency_from_peak_gap(c.duration_s * 2) >= c.start_hz
+
+
+class TestChirpSynthesis:
+    def test_sawtooth_constant_envelope(self):
+        s = sawtooth_chirp(SawtoothChirp(), 4e9)
+        assert np.allclose(np.abs(s.samples), 1.0)
+
+    def test_sawtooth_length(self):
+        s = sawtooth_chirp(SawtoothChirp(), 4e9, n_chirps=3)
+        assert len(s) == 3 * int(round(18e-6 * 4e9))
+
+    def test_sample_rate_must_exceed_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            sawtooth_chirp(SawtoothChirp(), 1e9)
+
+    def test_n_chirps_validated(self):
+        with pytest.raises(ConfigurationError):
+            sawtooth_chirp(SawtoothChirp(), 4e9, n_chirps=0)
+
+    def test_triangular_constant_envelope(self):
+        s = triangular_chirp(TriangularChirp(), 4e9)
+        assert np.allclose(np.abs(s.samples), 1.0)
+
+    def test_dechirp_of_identical_chirps_is_dc(self):
+        tx = sawtooth_chirp(SawtoothChirp(), 4e9)
+        product = tx * tx.conjugate()
+        assert np.allclose(product.samples, 1.0)
+
+
+class TestTones:
+    def test_tone_frequency(self):
+        s = tone(28.1e9, 10e-6, 1e9, center_frequency_hz=28e9)
+        peak = interpolated_peak(windowed_fft(s))
+        assert peak.frequency_hz == pytest.approx(0.1e9, rel=1e-3)
+
+    def test_tone_beyond_nyquist_raises(self):
+        with pytest.raises(ConfigurationError):
+            tone(29e9, 1e-6, 1e9, center_frequency_hz=28e9)
+
+    def test_two_tone_power(self):
+        s = two_tone(27.9e9, 28.1e9, 10e-6, 1e9, center_frequency_hz=28e9)
+        # Two unit tones: mean power 2.
+        assert s.mean_power_w() == pytest.approx(2.0, rel=1e-2)
+
+    def test_two_tone_spectrum_has_both(self):
+        s = two_tone(27.9e9, 28.1e9, 10e-6, 1e9, center_frequency_hz=28e9)
+        spec = windowed_fft(s)
+        mags = spec.magnitude
+        top2 = np.sort(spec.frequencies_hz[np.argsort(mags)[-2:]])
+        assert top2[0] == pytest.approx(-0.1e9, rel=1e-2)
+        assert top2[1] == pytest.approx(0.1e9, rel=1e-2)
+
+    def test_multi_tone_validates_lengths(self):
+        with pytest.raises(ConfigurationError):
+            multi_tone([1e9], [1.0, 2.0], 1e-6, 4e9)
+
+    def test_multi_tone_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            multi_tone([], [], 1e-6, 4e9)
+
+
+class TestOokStream:
+    def test_gating(self):
+        s = ook_stream([1, 0, 1], 28e9, 1e-6, 100e6, center_frequency_hz=28e9)
+        n = int(1e-6 * 100e6)
+        assert np.allclose(np.abs(s.samples[:n]), 1.0)
+        assert np.allclose(np.abs(s.samples[n : 2 * n]), 0.0)
+        assert np.allclose(np.abs(s.samples[2 * n :]), 1.0)
+
+    def test_empty_bits_raise(self):
+        with pytest.raises(ConfigurationError):
+            ook_stream([], 28e9, 1e-6, 100e6)
+
+    def test_subsample_symbol_raises(self):
+        with pytest.raises(ConfigurationError):
+            ook_stream([1], 28e9, 1e-9, 1e6)
