@@ -1,0 +1,34 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench lint lint-domain lint-ruff lint-mypy all
+
+all: lint test
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The lint gate: the domain linter is mandatory; ruff and mypy run when
+# installed (they are optional [lint] extras, not runtime dependencies)
+# and are skipped with a notice otherwise.
+lint: lint-domain lint-ruff lint-mypy
+
+lint-domain:
+	$(PYTHON) -m repro.lint src
+
+lint-ruff:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed - skipping (pip install -e '.[lint]')"; \
+	fi
+
+lint-mypy:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed - skipping (pip install -e '.[lint]')"; \
+	fi

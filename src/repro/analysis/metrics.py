@@ -93,9 +93,9 @@ def tone_snr_db(signal: Signal, tone_offset_hz: float, tone_width_hz: float) -> 
     if tone_width_hz <= 0:
         raise SignalError("tone width must be positive")
     spectrum = windowed_fft(signal)
-    freqs = spectrum.frequencies_hz
+    freqs_hz = spectrum.frequencies_hz
     power = spectrum.power
-    in_band = np.abs(freqs - tone_offset_hz) <= tone_width_hz / 2.0
+    in_band = np.abs(freqs_hz - tone_offset_hz) <= tone_width_hz / 2.0
     if not in_band.any():
         raise SignalError("tone band selects no bins")
     signal_power = float(power[in_band].sum())

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
+from repro.errors import ConfigurationError
+
 __all__ = ["render_table", "format_value"]
 
 
@@ -38,12 +40,12 @@ def render_table(
     keys (rendered blank) but must not add new ones.
     """
     if not rows:
-        raise ValueError("no rows to render")
+        raise ConfigurationError("no rows to render")
     columns = list(rows[0].keys())
     for row in rows[1:]:
         unknown = set(row) - set(columns)
         if unknown:
-            raise ValueError(f"row introduces unknown columns: {sorted(unknown)}")
+            raise ConfigurationError(f"row introduces unknown columns: {sorted(unknown)}")
     cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
     widths = [
         max(len(col), *(len(line[i]) for line in cells))

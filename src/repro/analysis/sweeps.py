@@ -13,6 +13,7 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.stats import ErrorSummary, summarize_errors
 
@@ -68,7 +69,7 @@ def run_sweep(
     Trials receive independent RNG streams derived from ``seed``.
     """
     if n_trials < 1:
-        raise ValueError("need at least one trial")
+        raise ConfigurationError("need at least one trial")
     rngs = spawn_rngs(seed, len(parameters) * n_trials)
     points = []
     for i, parameter in enumerate(parameters):

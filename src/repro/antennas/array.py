@@ -53,8 +53,8 @@ class UniformLinearArray:
         freq = np.asarray(frequency_hz, dtype=float)
         angle_b, freq_b = np.broadcast_arrays(angle, freq)
         k = 2.0 * np.pi * freq_b / SPEED_OF_LIGHT
-        d = self.element_spacing_m
-        phase = k * d * (
+        d_m = self.element_spacing_m
+        phase = k * d_m * (
             np.sin(np.radians(angle_b)) - math.sin(math.radians(self.steer_angle_deg))
         )
         n = np.arange(self.n_elements)

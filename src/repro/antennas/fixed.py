@@ -58,9 +58,9 @@ class HornAntenna:
     def gain_dbi(self, angle_deg, frequency_hz):
         """Gaussian roll-off from the peak, floored at the sidelobe level."""
         angle = np.asarray(angle_deg, dtype=float)
-        bw = self.effective_beamwidth_deg
-        # Gaussian with -3 dB at angle = bw/2: G(θ) = Gp - 12 (θ/bw)^2 dB.
-        rolloff_db = 12.0 * (angle / bw) ** 2
+        bw_deg = self.effective_beamwidth_deg
+        # Gaussian with -3 dB at angle = bw_deg/2: G(θ) = Gp - 12 (θ/bw_deg)^2 dB.
+        rolloff_db = 12.0 * (angle / bw_deg) ** 2
         gain = self.peak_gain_dbi - rolloff_db
         result = np.maximum(gain, self.sidelobe_floor_dbi)
         return result if result.ndim else float(result)

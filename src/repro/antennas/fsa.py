@@ -233,13 +233,13 @@ class FrequencyScanningAntenna:
         freq = np.asarray(frequency_hz, dtype=float)
         angle_b, freq_b = np.broadcast_arrays(angle, freq)
         k = 2.0 * np.pi * freq_b / SPEED_OF_LIGHT
-        d = self.design.element_spacing_m
+        d_m = self.design.element_spacing_m
         # Progressive feed phase, wrapped into the m-th space harmonic.
-        psi = k * d * self.design.sin_beam_angle(freq_b)
+        psi = k * d_m * self.design.sin_beam_angle(freq_b)
         # Phase seen by element n in direction θ (port B mirrors the
         # geometry, equivalent to evaluating port A at −θ).
         theta_rad = np.radians(self._mirror * angle_b)
-        phase_per_element = k * d * np.sin(theta_rad) - psi
+        phase_per_element = k * d_m * np.sin(theta_rad) - psi
         taper = self.design.element_weights()
         # Sum over elements: result shape = broadcast shape.
         n = np.arange(self.design.n_elements)

@@ -47,10 +47,10 @@ class VanAttaArray:
             raise ConfigurationError("element spacing must be positive")
 
     def retro_gain_dbi(self, incidence_deg, frequency_hz):
-        """Round-trip (monostatic) gain of the retro-reflected beam.
+        """Round-trip (monostatic) gain_db of the retro-reflected beam.
 
         Retro-direction combining is coherent across all N elements, so
-        the two-way gain is 2·(G_elem + 10 log10 N) − trace loss, rolled
+        the two-way gain_db is 2·(G_elem + 10 log10 N) − trace loss, rolled
         off by the element pattern at wide incidence. This is the quantity
         that enters the backscatter link budget *once* (it already counts
         both receive and re-transmit apertures).
@@ -60,10 +60,10 @@ class VanAttaArray:
         # cos^2 element roll-off per pass, two passes.
         cos_term = np.maximum(np.cos(np.radians(angle)), 1e-3)
         rolloff_db = -20.0 * np.log10(cos_term)
-        gain = 2.0 * array_gain_db - self.trace_loss_db - 2.0 * rolloff_db
+        gain_db = 2.0 * array_gain_db - self.trace_loss_db - 2.0 * rolloff_db
         outside = np.abs(angle) > self.field_of_view_deg / 2.0
-        gain = np.where(outside, -30.0, gain)
-        return gain if gain.ndim else float(gain)
+        gain_db = np.where(outside, -30.0, gain_db)
+        return gain_db if gain_db.ndim else float(gain_db)
 
     def aperture_m(self) -> float:
         """Physical aperture length [m]."""

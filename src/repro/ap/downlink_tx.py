@@ -58,22 +58,22 @@ class DownlinkTransmitter:
             raise ConfigurationError("bit rate must be positive")
         use_ook = pair.separation_hz < self.min_tone_separation_hz
         if use_ook:
-            symbol_rate = bit_rate_bps
-            carrier = 0.5 * (pair.freq_a_hz + pair.freq_b_hz)
+            symbol_rate_bps = bit_rate_bps
+            carrier_hz = 0.5 * (pair.freq_a_hz + pair.freq_b_hz)
             waveform = ook_waveform(
                 list(bits),
-                carrier,
-                symbol_rate,
+                carrier_hz,
+                symbol_rate_bps,
                 self.sample_rate_hz,
                 amplitude=self.tx_power_w**0.5,
             )
             n_symbols = len(bits)
         else:
-            symbol_rate = bit_rate_bps / 2.0
+            symbol_rate_bps = bit_rate_bps / 2.0
             waveform = oaqfm_waveform(
                 list(bits),
                 pair,
-                symbol_rate,
+                symbol_rate_bps,
                 self.sample_rate_hz,
                 amplitude=(self.tx_power_w / 2.0) ** 0.5,
             )
@@ -81,7 +81,7 @@ class DownlinkTransmitter:
         return DownlinkBurst(
             waveform=waveform,
             pair=pair,
-            symbol_rate_hz=symbol_rate,
+            symbol_rate_hz=symbol_rate_bps,
             n_symbols=n_symbols,
             used_ook_fallback=use_ook,
         )

@@ -102,11 +102,11 @@ class FmcwProcessor:
         ceiling defaults to the capture's unambiguous range.
         """
         spectrum = self.background_subtracted(beat_records)
-        fs = beat_records[0].sample_rate_hz
+        fs_hz = beat_records[0].sample_rate_hz
         max_d = (
             max_distance_m
             if max_distance_m is not None
-            else self.beat_to_distance_m(fs / 2.0) * 0.95
+            else self.beat_to_distance_m(fs_hz / 2.0) * 0.95
         )
         peak = interpolated_peak(
             spectrum,

@@ -61,11 +61,11 @@ class ApOrientationEstimator:
         ``beat_frequency_hz`` (from ranging) centers the isolation mask.
         """
         chirp = self.processor.chirp
-        fs = beat_records[0].sample_rate_hz
+        fs_hz = beat_records[0].sample_rate_hz
         profile = self._node_amplitude_profile(beat_records, beat_frequency_hz)
         n = profile.size
         # Time within the chirp maps linearly to swept frequency.
-        times = np.arange(n) / fs
+        times = np.arange(n) / fs_hz
         freqs = chirp.instantaneous_frequency_hz(times)
         # Trim the edges: windowing and the mask's IFFT ringing corrupt
         # the first/last few percent of the sweep.
@@ -93,8 +93,8 @@ class ApOrientationEstimator:
         if len(beat_records) < 2:
             raise LocalizationError("need at least two chirps")
         n = beat_records[0].samples.size
-        fs = beat_records[0].sample_rate_hz
-        freqs = np.fft.fftfreq(n, d=1.0 / fs)
+        fs_hz = beat_records[0].sample_rate_hz
+        freqs = np.fft.fftfreq(n, d=1.0 / fs_hz)
         mask = np.abs(freqs - beat_frequency_hz) <= self.MASK_HALF_WIDTH_HZ
         if not mask.any():
             raise LocalizationError("beat mask selects no bins")

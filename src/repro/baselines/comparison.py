@@ -23,7 +23,10 @@ from repro.constants import (
 )
 from repro.sim.engine import MilBackSimulator
 
-__all__ = ["MilBackSystem", "capability_table", "energy_comparison"]
+__all__ = [
+    "MilBackSystem", "capability_table", "energy_comparison",
+    "all_systems",
+]
 
 
 @dataclass

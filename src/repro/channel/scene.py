@@ -57,11 +57,11 @@ class Scene2D:
 
         x = distance_m * math.cos(math.radians(azimuth_deg))
         y = distance_m * math.sin(math.radians(azimuth_deg))
-        # Facing the AP squarely means heading = bearing(node→AP); an
+        # Facing the AP squarely means heading_deg = bearing(node→AP); an
         # orientation of θ rotates broadside θ away from that.
         facing_ap_deg = azimuth_deg + 180.0
-        heading = facing_ap_deg - orientation_deg
-        node = NodePlacement(Pose2D.at(x, y, heading), node_id)
+        heading_deg = facing_ap_deg - orientation_deg
+        node = NodePlacement(Pose2D.at(x, y, heading_deg), node_id)
         clutter = tuple(default_indoor_clutter()) if with_clutter else ()
         return cls(Pose2D.at(0.0, 0.0, 0.0), (node,), clutter)
 

@@ -27,7 +27,10 @@ from repro.experiments import (
     table1_comparison,
 )
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = [
+    "main", "EXPERIMENTS",
+    "build_parser",
+]
 
 #: name -> (description, runner taking optional trial count)
 EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {

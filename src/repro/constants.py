@@ -6,87 +6,118 @@ states them; everything else is a documented engineering default.
 
 from __future__ import annotations
 
+from typing import Final
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "BOLTZMANN",
+    "T0_KELVIN",
+    "THERMAL_NOISE_DBM_HZ",
+    "BAND_START_HZ",
+    "BAND_STOP_HZ",
+    "BAND_WIDTH_HZ",
+    "BAND_CENTER_HZ",
+    "VXG_MAX_SPAN_HZ",
+    "PATCH_CENTERS_HZ",
+    "AP_TX_POWER_DBM",
+    "AP_HORN_GAIN_DBI",
+    "FIELD1_CHIRP_DURATION_S",
+    "FIELD2_CHIRP_DURATION_S",
+    "FIELD2_NUM_CHIRPS",
+    "LOCALIZATION_TOGGLE_RATE_HZ",
+    "NODE_ADC_RATE_HZ",
+    "NODE_POWER_DOWNLINK_W",
+    "NODE_POWER_UPLINK_W",
+    "MCU_POWER_W",
+    "MAX_DOWNLINK_RATE_BPS",
+    "MAX_UPLINK_RATE_BPS",
+    "MMTAG_ENERGY_PER_BIT_J",
+    "FSA_SCAN_COVERAGE_DEG",
+    "FSA_PEAK_GAIN_DBI",
+    "FSA_BEAMWIDTH_DEG",
+]
+
 #: Speed of light in vacuum [m/s].
-SPEED_OF_LIGHT = 299_792_458.0
+SPEED_OF_LIGHT: Final[float] = 299_792_458.0
 
 #: Boltzmann constant [J/K].
-BOLTZMANN = 1.380649e-23
+BOLTZMANN: Final[float] = 1.380649e-23
 
 #: Reference temperature for thermal noise [K].
-T0_KELVIN = 290.0
+T0_KELVIN: Final[float] = 290.0
 
 #: Thermal noise power spectral density at T0 [dBm/Hz] (kT at 290 K).
-THERMAL_NOISE_DBM_HZ = -173.975
+THERMAL_NOISE_DBM_HZ: Final[float] = -173.975
 
 # --- MilBack band plan (paper §8) -------------------------------------------
 
 #: Lower edge of the FMCW sweep [Hz].
-BAND_START_HZ = 26.5e9
+BAND_START_HZ: Final[float] = 26.5e9
 
 #: Upper edge of the FMCW sweep [Hz].
-BAND_STOP_HZ = 29.5e9
+BAND_STOP_HZ: Final[float] = 29.5e9
 
 #: Total FMCW sweep bandwidth [Hz] (3 GHz).
-BAND_WIDTH_HZ = BAND_STOP_HZ - BAND_START_HZ
+BAND_WIDTH_HZ: Final[float] = BAND_STOP_HZ - BAND_START_HZ
 
 #: Band center [Hz].
-BAND_CENTER_HZ = 0.5 * (BAND_START_HZ + BAND_STOP_HZ)
+BAND_CENTER_HZ: Final[float] = 0.5 * (BAND_START_HZ + BAND_STOP_HZ)
 
 #: The paper's signal generator spans at most 2 GHz, so the 3 GHz sweep is
 #: patched from two 2 GHz chirps centered here (paper footnote 2).
-VXG_MAX_SPAN_HZ = 2.0e9
-PATCH_CENTERS_HZ = (27.25e9, 28.75e9)
+VXG_MAX_SPAN_HZ: Final[float] = 2.0e9
+PATCH_CENTERS_HZ: Final[tuple[float, float]] = (27.25e9, 28.75e9)
 
 # --- AP parameters (paper §8) ------------------------------------------------
 
 #: AP transmit power [dBm].
-AP_TX_POWER_DBM = 27.0
+AP_TX_POWER_DBM: Final[float] = 27.0
 
 #: Gain of the Mi-Wave 261(34)-20/595 horn antennas [dBi].
-AP_HORN_GAIN_DBI = 20.0
+AP_HORN_GAIN_DBI: Final[float] = 20.0
 
 #: Field 1 (triangular, node-facing) chirp duration [s].
-FIELD1_CHIRP_DURATION_S = 45e-6
+FIELD1_CHIRP_DURATION_S: Final[float] = 45e-6
 
 #: Field 2 (sawtooth, localization) chirp duration [s].
-FIELD2_CHIRP_DURATION_S = 18e-6
+FIELD2_CHIRP_DURATION_S: Final[float] = 18e-6
 
 #: Number of sawtooth chirps in preamble Field 2 (paper §7).
-FIELD2_NUM_CHIRPS = 5
+FIELD2_NUM_CHIRPS: Final[int] = 5
 
 #: Node reflective/absorptive toggle rate during localization [Hz] (§5.1).
-LOCALIZATION_TOGGLE_RATE_HZ = 10e3
+LOCALIZATION_TOGGLE_RATE_HZ: Final[float] = 10e3
 
 # --- Node parameters (paper §§4, 8, 9.6) -------------------------------------
 
 #: MCU ADC sampling rate at the node [Hz] (§9.3).
-NODE_ADC_RATE_HZ = 1e6
+NODE_ADC_RATE_HZ: Final[float] = 1e6
 
 #: Node power draw during localization and downlink [W] (§9.6).
-NODE_POWER_DOWNLINK_W = 18e-3
+NODE_POWER_DOWNLINK_W: Final[float] = 18e-3
 
 #: Node power draw during uplink [W] (§9.6).
-NODE_POWER_UPLINK_W = 32e-3
+NODE_POWER_UPLINK_W: Final[float] = 32e-3
 
 #: Typical MCU power, excluded from the node budget in the paper [W].
-MCU_POWER_W = 5.76e-3
+MCU_POWER_W: Final[float] = 5.76e-3
 
 #: Maximum downlink data rate, limited by envelope-detector rise/fall [bit/s].
-MAX_DOWNLINK_RATE_BPS = 36e6
+MAX_DOWNLINK_RATE_BPS: Final[float] = 36e6
 
 #: Maximum uplink data rate, limited by switch toggle speed [bit/s].
-MAX_UPLINK_RATE_BPS = 160e6
+MAX_UPLINK_RATE_BPS: Final[float] = 160e6
 
 #: mmTag (SIGCOMM'21) uplink-only energy efficiency for comparison [J/bit].
-MMTAG_ENERGY_PER_BIT_J = 2.4e-9
+MMTAG_ENERGY_PER_BIT_J: Final[float] = 2.4e-9
 
 # --- FSA defaults (paper §2, §9.1) -------------------------------------------
 
 #: Azimuth scan coverage of the dual-port FSA across the band [deg].
-FSA_SCAN_COVERAGE_DEG = 60.0
+FSA_SCAN_COVERAGE_DEG: Final[float] = 60.0
 
 #: Approximate FSA peak gain from Fig. 10 [dBi].
-FSA_PEAK_GAIN_DBI = 13.0
+FSA_PEAK_GAIN_DBI: Final[float] = 13.0
 
 #: Approximate FSA beam width (§9.3) [deg].
-FSA_BEAMWIDTH_DEG = 10.0
+FSA_BEAMWIDTH_DEG: Final[float] = 10.0

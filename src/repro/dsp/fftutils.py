@@ -21,6 +21,7 @@ __all__ = [
     "windowed_fft",
     "interpolated_peak",
     "find_peaks_above",
+    "PeakEstimate",
 ]
 
 
@@ -112,12 +113,12 @@ def interpolated_peak(
     processor uses this to ignore the DC/self-interference region.
     """
     mag = spectrum.magnitude
-    freqs = spectrum.frequencies_hz
+    freqs_hz = spectrum.frequencies_hz
     mask = np.ones(mag.size, dtype=bool)
     if min_hz is not None:
-        mask &= freqs >= min_hz
+        mask &= freqs_hz >= min_hz
     if max_hz is not None:
-        mask &= freqs <= max_hz
+        mask &= freqs_hz <= max_hz
     if not mask.any():
         raise SignalError("peak search range excludes every bin")
     masked = np.where(mask, mag, -np.inf)
@@ -133,7 +134,7 @@ def interpolated_peak(
     else:
         delta = 0.0
     return PeakEstimate(
-        frequency_hz=float(freqs[k] + delta * df),
+        frequency_hz=float(freqs_hz[k] + delta * df),
         magnitude=float(mag[k]),
         bin_index=k,
     )

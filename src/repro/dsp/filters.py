@@ -49,22 +49,22 @@ def design_bandpass_fir(
 ) -> np.ndarray:
     """Band-pass FIR as the difference of two low-pass designs.
 
-    Gain is normalized to unity at the band center.
+    Gain is normalized to unity at the band center_hz.
     """
     if not 0.0 <= low_hz < high_hz:
         raise ConfigurationError(f"need 0 <= low < high, got [{low_hz}, {high_hz}]")
     _check_band(high_hz, sample_rate_hz)
     hp_part = design_lowpass_fir(high_hz, sample_rate_hz, num_taps)
-    if low_hz == 0.0:
+    if low_hz <= 0.0:  # the guard above pins low_hz >= 0, so this is the DC edge
         taps = hp_part
     else:
         lp_part = design_lowpass_fir(low_hz, sample_rate_hz, num_taps)
         taps = hp_part - lp_part
-    center = 0.5 * (low_hz + high_hz)
+    center_hz = 0.5 * (low_hz + high_hz)
     n = np.arange(num_taps) - (num_taps - 1) / 2
-    response = np.abs(np.sum(taps * np.exp(-2j * np.pi * center / sample_rate_hz * n)))
+    response = np.abs(np.sum(taps * np.exp(-2j * np.pi * center_hz / sample_rate_hz * n)))
     if response < 1e-12:
-        raise ConfigurationError("degenerate band-pass design (zero center gain)")
+        raise ConfigurationError("degenerate band-pass design (zero center_hz gain)")
     return taps / response
 
 

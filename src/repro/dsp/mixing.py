@@ -18,22 +18,22 @@ __all__ = ["mix_with_tone", "downconvert", "remove_dc"]
 
 
 def mix_with_tone(signal: Signal, tone_frequency_hz: float) -> Signal:
-    """Multiply by exp(-j 2π (f_tone - center) t): content at the tone
+    """Multiply by exp(-j 2π (f_tone - center) t_s): content at the tone
     frequency lands at DC.
 
     This is the complex-baseband equivalent of the AP's analog mixer fed
-    with cos(2π f_tone t); the image/sum products a real mixer makes are
+    with cos(2π f_tone t_s); the image/sum products a real mixer makes are
     exactly the terms the paper filters out with its BPF, so the complex
     model simply never creates them.
     """
-    offset = tone_frequency_hz - signal.center_frequency_hz
-    if abs(offset) > signal.sample_rate_hz / 2:
+    offset_hz = tone_frequency_hz - signal.center_frequency_hz
+    if abs(offset_hz) > signal.sample_rate_hz / 2:
         raise SignalError(
-            f"tone offset {offset/1e6:.1f} MHz outside Nyquist band of "
+            f"tone offset_hz {offset_hz/1e6:.1f} MHz outside Nyquist band of "
             f"fs={signal.sample_rate_hz/1e6:.1f} MHz"
         )
-    t = signal.time_axis_s
-    mixed = signal.samples * np.exp(-2j * np.pi * offset * t)
+    t_s = signal.time_axis_s
+    mixed = signal.samples * np.exp(-2j * np.pi * offset_hz * t_s)
     return Signal(mixed, signal.sample_rate_hz, 0.0, signal.start_time_s)
 
 
@@ -43,7 +43,8 @@ def downconvert(rf: Signal, lo: Signal) -> Signal:
     For FMCW this is the classic stretch processor: a reflection delayed
     by τ against the transmitted chirp becomes a beat tone at slope·τ.
     """
-    if rf.sample_rate_hz != lo.sample_rate_hz:
+    # Sample grids must match bit-exactly to mix; both come from config.
+    if rf.sample_rate_hz != lo.sample_rate_hz:  # milback: disable=ML003
         raise SignalError("rf and lo sample rates differ")
     n = min(rf.samples.size, lo.samples.size)
     if n == 0:

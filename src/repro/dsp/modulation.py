@@ -30,7 +30,7 @@ def symbol_integrate(
     """Average the (real) signal over each of ``n_symbols`` symbol slots.
 
     The central 60% of each slot is integrated, discarding edges blurred
-    by detector rise/fall — the same guard interval a firmware sampler
+    by detector rise/fall — the same guard_s interval a firmware sampler
     would apply.
 
     Returns a float vector of per-symbol levels.
@@ -39,15 +39,15 @@ def symbol_integrate(
         raise DecodingError("need at least one symbol")
     if symbol_duration_s <= 0:
         raise DecodingError("symbol duration must be positive")
-    t0 = signal.start_time_s if t_first_symbol_s is None else t_first_symbol_s
-    fs = signal.sample_rate_hz
-    guard = 0.2 * symbol_duration_s
+    t0_s = signal.start_time_s if t_first_symbol_s is None else t_first_symbol_s
+    fs_hz = signal.sample_rate_hz
+    guard_s = 0.2 * symbol_duration_s
     levels = np.empty(n_symbols)
     for k in range(n_symbols):
-        a = t0 + k * symbol_duration_s + guard
-        b = t0 + (k + 1) * symbol_duration_s - guard
-        i0 = int(np.round((a - signal.start_time_s) * fs))
-        i1 = int(np.round((b - signal.start_time_s) * fs))
+        a = t0_s + k * symbol_duration_s + guard_s
+        b = t0_s + (k + 1) * symbol_duration_s - guard_s
+        i0 = int(np.round((a - signal.start_time_s) * fs_hz))
+        i1 = int(np.round((b - signal.start_time_s) * fs_hz))
         i0 = max(i0, 0)
         i1 = min(i1, signal.samples.size)
         if i1 <= i0:

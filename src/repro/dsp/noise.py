@@ -70,15 +70,15 @@ def add_noise(
     rng: RngLike = None,
     bandwidth_hz: float | None = None,
 ) -> Signal:
-    """Add thermal noise appropriate to the signal's own bandwidth.
+    """Add thermal noise appropriate to the signal's own bandwidth_hz.
 
-    By default the noise bandwidth is the full simulated sample rate
+    By default the noise bandwidth_hz is the full simulated sample rate
     (white across the simulated band); narrower effective bandwidths are
     the receiver's job to impose via filtering, exactly as in hardware.
     """
-    bandwidth = bandwidth_hz if bandwidth_hz is not None else signal.sample_rate_hz
-    power = thermal_noise_power_w(bandwidth, noise_figure_db)
+    bandwidth_hz = bandwidth_hz if bandwidth_hz is not None else signal.sample_rate_hz
+    power = thermal_noise_power_w(bandwidth_hz, noise_figure_db)
     # Scale to per-sample-rate density so post-filter noise power comes out
-    # at kT * (filter bandwidth) * NF.
-    total = power * signal.sample_rate_hz / bandwidth
+    # at kT * (filter bandwidth_hz) * NF.
+    total = power * signal.sample_rate_hz / bandwidth_hz
     return awgn(signal, total, rng)

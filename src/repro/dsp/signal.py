@@ -131,15 +131,15 @@ class Signal:
         )
 
     def frequency_shifted(self, offset_hz: float) -> "Signal":
-        """Multiply by exp(j 2π offset t): move energy within the baseband.
+        """Multiply by exp(j 2π offset t_s): move energy within the baseband.
 
         ``center_frequency_hz`` is unchanged — this models an actual
         frequency offset of the content, e.g. a chirp sweeping around its
         center.
         """
-        t = self.time_axis_s
+        t_s = self.time_axis_s
         return Signal(
-            self.samples * np.exp(2j * np.pi * offset_hz * t),
+            self.samples * np.exp(2j * np.pi * offset_hz * t_s),
             self.sample_rate_hz,
             self.center_frequency_hz,
             self.start_time_s,
@@ -153,8 +153,8 @@ class Signal:
         are mixed by the center difference so absolute content is
         preserved.
         """
-        diff = self.center_frequency_hz - new_center_hz
-        shifted = self.frequency_shifted(diff) if diff else self
+        diff_hz = self.center_frequency_hz - new_center_hz
+        shifted = self.frequency_shifted(diff_hz) if diff_hz else self
         return Signal(
             shifted.samples.copy(),
             self.sample_rate_hz,
@@ -230,9 +230,10 @@ class Signal:
         The two must share sample rate and center frequency; the result's
         timeline starts at this signal's ``start_time_s``.
         """
-        if other.sample_rate_hz != self.sample_rate_hz:
+        # Grid compatibility is exact: both values are configured, not computed.
+        if other.sample_rate_hz != self.sample_rate_hz:  # milback: disable=ML003
             raise SignalError("cannot concatenate signals with different sample rates")
-        if other.center_frequency_hz != self.center_frequency_hz:
+        if other.center_frequency_hz != self.center_frequency_hz:  # milback: disable=ML003
             raise SignalError("cannot concatenate signals with different centers")
         return Signal(
             np.concatenate([self.samples, other.samples]),
@@ -262,7 +263,8 @@ class Signal:
     # --- internals -------------------------------------------------------------
 
     def _require_same_grid(self, other: "Signal") -> None:
-        if other.sample_rate_hz != self.sample_rate_hz:
+        # Configured rates combine only when bit-identical.
+        if other.sample_rate_hz != self.sample_rate_hz:  # milback: disable=ML003
             raise SignalError(
                 "sample-rate mismatch: "
                 f"{self.sample_rate_hz} vs {other.sample_rate_hz}"

@@ -239,15 +239,15 @@ def tone(
     start_time_s: float = 0.0,
 ) -> Signal:
     """A single continuous tone at absolute RF frequency ``frequency_hz``."""
-    offset = frequency_hz - center_frequency_hz
-    if abs(offset) > sample_rate_hz / 2:
+    offset_hz = frequency_hz - center_frequency_hz
+    if abs(offset_hz) > sample_rate_hz / 2:
         raise ConfigurationError(
-            f"tone offset {offset/1e6:.1f} MHz exceeds Nyquist for "
+            f"tone offset_hz {offset_hz/1e6:.1f} MHz exceeds Nyquist for "
             f"fs={sample_rate_hz/1e6:.1f} MHz"
         )
     n = int(round(duration_s * sample_rate_hz))
     t = start_time_s + np.arange(n) / sample_rate_hz
-    samples = amplitude * np.exp(1j * (2.0 * np.pi * offset * t + phase_rad))
+    samples = amplitude * np.exp(1j * (2.0 * np.pi * offset_hz * t + phase_rad))
     return Signal(samples, sample_rate_hz, center_frequency_hz, start_time_s)
 
 

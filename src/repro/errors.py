@@ -3,16 +3,34 @@
 Every error raised by this package derives from :class:`MilBackError`, so
 callers can catch package failures with a single ``except`` clause while
 still being able to discriminate by subsystem.
+
+:class:`ConfigurationError` additionally derives from :class:`ValueError`:
+it always signals an invalid argument or parameter value, so callers that
+reach for the builtin idiom (``except ValueError``) keep working while
+package-aware callers catch the precise type.
 """
 
 from __future__ import annotations
+
+__all__ = [
+    "MilBackError",
+    "ConfigurationError",
+    "SignalError",
+    "ChannelError",
+    "HardwareError",
+    "ProtocolError",
+    "DecodingError",
+    "LocalizationError",
+    "CalibrationError",
+    "StaticAnalysisError",
+]
 
 
 class MilBackError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
 
 
-class ConfigurationError(MilBackError):
+class ConfigurationError(MilBackError, ValueError):
     """A component was constructed with physically impossible or
     inconsistent parameters (negative bandwidth, zero elements, ...)."""
 
@@ -49,3 +67,8 @@ class LocalizationError(MilBackError):
 
 class CalibrationError(MilBackError):
     """Calibration constants requested for an unknown configuration."""
+
+
+class StaticAnalysisError(MilBackError):
+    """The :mod:`repro.lint` engine was misused (unknown rule id,
+    duplicate registration, unreadable path)."""

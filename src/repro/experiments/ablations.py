@@ -38,6 +38,7 @@ __all__ = [
     "run_chirp_bandwidth_ablation",
     "run_subtraction_burst_ablation",
     "main",
+    "BackgroundSubtractionAblation",
 ]
 
 
@@ -62,22 +63,22 @@ def run_background_subtraction_ablation(
     records, _ = sim._beat_records(toggled_port="both")
     processor = sim.ap.fmcw
 
-    with_sub = processor.estimate_range(records).distance_m
+    with_sub_m = processor.estimate_range(records).distance_m
 
     raw_spectrum = processor.chirp_spectra(records)[0]
-    fs = records[0].sample_rate_hz
+    fs_hz = records[0].sample_rate_hz
     peak = interpolated_peak(
         raw_spectrum,
         min_hz=processor.distance_to_beat_hz(0.3),
         max_hz=processor.distance_to_beat_hz(
-            processor.beat_to_distance_m(fs / 2.0) * 0.95
+            processor.beat_to_distance_m(fs_hz / 2.0) * 0.95
         ),
     )
     without_sub = processor.beat_to_distance_m(peak.frequency_hz)
 
     return BackgroundSubtractionAblation(
         distance_true_m=distance_m,
-        error_with_subtraction_m=abs(with_sub - distance_m),
+        error_with_subtraction_m=abs(with_sub_m - distance_m),
         error_without_subtraction_m=abs(without_sub - distance_m),
     )
 

@@ -15,7 +15,13 @@ import numpy as np
 from repro.analysis.report import render_table
 from repro.channel.multipath import default_indoor_clutter
 from repro.channel.scene import NodePlacement, Scene2D
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ChannelError,
+    ConfigurationError,
+    HardwareError,
+    ProtocolError,
+    SignalError,
+)
 from repro.sim.engine import MilBackSimulator
 from repro.utils.geometry import Pose2D
 from repro.utils.rng import spawn_rngs
@@ -86,9 +92,13 @@ def _cell_delivery(
         try:
             down = sim.simulate_downlink(bits, bit_rate_bps)
             up = sim.simulate_uplink(bits, uplink_rate_bps)
-        except Exception:
+        except (ChannelError, HardwareError, ProtocolError, SignalError):
+            # A dead link (no sync, unusable SNR, out-of-envelope drive)
+            # means the cell is uncovered; ConfigurationError still
+            # propagates because that is a bug in this sweep, not physics.
             continue
-        if down.ber == 0.0 and up.ber == 0.0:
+        # BER is bit_errors/n: exactly 0.0 iff the count is zero.
+        if down.ber == 0.0 and up.ber == 0.0:  # milback: disable=ML003
             successes += 1
     return successes / n_trials
 

@@ -14,7 +14,10 @@ import numpy as np
 from repro.antennas.dual_port_fsa import DualPortFsa
 from repro.analysis.report import render_table
 
-__all__ = ["BeamPatternResult", "run_fig10", "main"]
+__all__ = [
+    "BeamPatternResult", "run_fig10", "main",
+    "rows",
+]
 
 #: The seven frequencies the paper samples (GHz → Hz).
 SAMPLE_FREQUENCIES_HZ = tuple(f * 1e9 for f in (26.5, 27.0, 27.5, 28.0, 28.5, 29.0, 29.5))

@@ -18,7 +18,11 @@ from repro.channel.scene import Scene2D
 from repro.sim.engine import MilBackSimulator
 from repro.utils.stats import empirical_cdf, percentile
 
-__all__ = ["LocalizationFigure", "run_fig12_ranging", "run_fig12_angle", "main"]
+__all__ = [
+    "LocalizationFigure", "run_fig12_ranging", "run_fig12_angle", "main",
+    "run_fig12",
+    "ranging_rows",
+]
 
 #: Distances the ranging sweep visits [m].
 RANGING_DISTANCES_M = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0)

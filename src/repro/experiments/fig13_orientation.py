@@ -29,6 +29,8 @@ __all__ = [
     "run_fig13_ap",
     "run_fig5_traces",
     "main",
+    "run_fig13",
+    "figure_rows",
 ]
 
 #: Orientations swept in both panels [deg].

@@ -8,18 +8,20 @@ downlink rate of 36 Mbps set by the envelope detector's rise/fall time.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.analysis.report import render_table
+from repro.errors import ConfigurationError
 from repro.analysis.sweeps import SweepPoint, run_sweep
 from repro.channel.scene import Scene2D
 from repro.node.config import NodeConfig
 from repro.phy.ber import ook_matched_filter_ber
 from repro.sim.engine import MilBackSimulator
 
-__all__ = ["DownlinkFigure", "run_fig14", "main"]
+__all__ = ["DownlinkFigure", "run_fig14", "figure_rows", "main"]
 
 #: Distances the paper's Figure 14 spans [m].
 DOWNLINK_DISTANCES_M = (1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0)
@@ -34,9 +36,9 @@ class DownlinkFigure:
 
     def sinr_at(self, distance_m: float) -> float:
         for point in self.sinr_points:
-            if point.parameter == distance_m:
+            if math.isclose(point.parameter, distance_m):
                 return point.mean
-        raise KeyError(f"distance {distance_m} not in the sweep")
+        raise ConfigurationError(f"distance {distance_m} not in the sweep")
 
 
 def run_fig14(

@@ -10,6 +10,7 @@ uplink rate, 160 Mbps, is set by the switch toggle speed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,7 +22,10 @@ from repro.node.config import NodeConfig
 from repro.phy.ber import ook_matched_filter_ber
 from repro.sim.engine import MilBackSimulator
 
-__all__ = ["UplinkFigure", "run_fig15", "main"]
+__all__ = [
+    "UplinkFigure", "run_fig15", "main",
+    "figure_rows",
+]
 
 #: Distances for panel (a), 10 Mbps [m].
 DISTANCES_10MBPS_M = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
@@ -40,8 +44,8 @@ class UplinkFigure:
 
     def rate_gap_db(self, distance_m: float) -> float:
         """SNR gap between the 10 and 40 Mbps curves at one distance."""
-        s10 = next(p.mean for p in self.snr_10mbps if p.parameter == distance_m)
-        s40 = next(p.mean for p in self.snr_40mbps if p.parameter == distance_m)
+        s10 = next(p.mean for p in self.snr_10mbps if math.isclose(p.parameter, distance_m))
+        s40 = next(p.mean for p in self.snr_40mbps if math.isclose(p.parameter, distance_m))
         return s10 - s40
 
 

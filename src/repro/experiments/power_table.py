@@ -16,7 +16,10 @@ from repro.constants import MAX_DOWNLINK_RATE_BPS, MMTAG_ENERGY_PER_BIT_J
 from repro.hardware.power import NodeMode
 from repro.node.node import BackscatterNode
 
-__all__ = ["PowerReport", "run_power_table", "main"]
+__all__ = [
+    "PowerReport", "run_power_table", "main",
+    "report_rows",
+]
 
 
 @dataclass(frozen=True)

@@ -96,23 +96,23 @@ class EnvelopeDetector:
         """
         if rf_input.samples.size == 0:
             raise HardwareError("empty RF input")
-        fs = rf_input.sample_rate_hz
+        fs_hz = rf_input.sample_rate_hz
         envelope = Signal(
             (self.responsivity_v_per_sqrt_w * np.abs(rf_input.samples)).astype(
                 np.complex128
             ),
-            fs,
+            fs_hz,
             0.0,
             rf_input.start_time_s,
         )
         filtered = single_pole_lowpass(envelope, self.video_bandwidth_hz)
         rng = make_rng(rng)
-        # White noise sampled at fs, then band-limited the same way the
+        # White noise sampled at fs_hz, then band-limited the same way the
         # signal is, so the in-band density equals the spec value.
-        raw_sigma = self.output_noise_v_per_rt_hz * math.sqrt(fs / 2.0)
+        raw_sigma = self.output_noise_v_per_rt_hz * math.sqrt(fs_hz / 2.0)
         noise = Signal(
             raw_sigma * rng.standard_normal(len(filtered)).astype(np.complex128),
-            fs,
+            fs_hz,
             0.0,
             filtered.start_time_s,
         )
@@ -120,7 +120,7 @@ class EnvelopeDetector:
         # Output stays real: keep the real part only.
         return Signal(
             noisy.samples.real.astype(np.complex128),
-            fs,
+            fs_hz,
             0.0,
             noisy.start_time_s,
         )

@@ -125,7 +125,7 @@ class WaveformGenerator:
                 f"tone separation {abs(freq_a_hz-freq_b_hz)/1e9:.2f} GHz exceeds "
                 f"the generator span {self.max_span_hz/1e9:.2f} GHz"
             )
-        center = (
+        center_hz = (
             0.5 * (freq_a_hz + freq_b_hz)
             if center_frequency_hz is None
             else center_frequency_hz
@@ -137,5 +137,5 @@ class WaveformGenerator:
             self.sample_rate_hz,
             amplitude_a,
             amplitude_b,
-            center,
+            center_hz,
         )

@@ -1,0 +1,298 @@
+"""Rule engine for :mod:`repro.lint`.
+
+The engine is deliberately small: a :class:`Rule` walks one parsed
+module (:class:`ModuleContext`) and yields :class:`Finding` objects; a
+registry maps rule ids to rule classes; :func:`lint_paths` discovers
+``.py`` files, applies every selected rule, filters suppressed findings,
+and returns the rest sorted by location.
+
+Suppression syntax (mirrors the classic linter idiom, but namespaced so
+it can never collide with ``noqa``/``pylint`` pragmas):
+
+* ``# milback: disable=ML001`` — suppress ML001 on this physical line.
+* ``# milback: disable=ML001,ML003`` — several rules, comma separated.
+* ``# milback: disable-file=ML006`` — suppress for the whole module;
+  by convention this lives in the module's first comment block.
+* ``all`` is accepted in place of a rule id and mutes every rule.
+
+A suppression comment should always carry a human justification after
+the pragma, e.g. ``# milback: disable=ML003 — exact sentinel compare``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import StaticAnalysisError
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]
+
+#: Rule id for files the engine itself cannot parse.
+PARSE_ERROR_RULE = "ML000"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*milback:\s*(?P<kind>disable|disable-file)\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+
+class Severity(Enum):
+    """How seriously a finding should be taken by CI."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+
+    def render(self) -> str:
+        """``path:line:col: ML00X message`` — the classic text format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} [{self.severity}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module plus everything rules commonly need."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    line_suppressions: dict[int, frozenset[str]]
+    file_suppressions: frozenset[str]
+
+    @classmethod
+    def from_source(cls, source: str, path: str = "<string>") -> "ModuleContext":
+        """Parse ``source``; raises :class:`SyntaxError` on bad input."""
+        tree = ast.parse(source, filename=path)
+        per_line, whole_file = _parse_suppressions(source)
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            line_suppressions=per_line,
+            file_suppressions=whole_file,
+        )
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``rule_id`` is muted at ``line`` (or file-wide)."""
+        if "all" in self.file_suppressions or rule_id in self.file_suppressions:
+            return True
+        on_line = self.line_suppressions.get(line, frozenset())
+        return "all" in on_line or rule_id in on_line
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST | None,
+        message: str,
+        *,
+        line: int | None = None,
+        col: int | None = None,
+    ) -> Finding:
+        """Build a :class:`Finding` for ``rule`` anchored at ``node``."""
+        at_line = line if line is not None else getattr(node, "lineno", 1)
+        at_col = col if col is not None else getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.path,
+            line=at_line,
+            col=at_col + 1,
+            rule_id=rule.rule_id,
+            message=message,
+            severity=rule.severity,
+        )
+
+
+def _parse_suppressions(source: str) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+    """Extract ``# milback: disable`` pragmas via the tokenizer.
+
+    Tokenizing (rather than regexing raw lines) keeps pragmas inside
+    string literals from being honoured by accident.
+    """
+    per_line: dict[int, frozenset[str]] = {}
+    whole_file: set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip() for part in match.group("rules").split(",") if part.strip()
+            )
+            if match.group("kind") == "disable-file":
+                whole_file |= rules
+            else:
+                per_line[tok.start[0]] = per_line.get(tok.start[0], frozenset()) | rules
+    except tokenize.TokenError:
+        # Unparseable token stream: the engine reports the SyntaxError
+        # elsewhere; there is nothing to suppress.
+        pass
+    return per_line, frozenset(whole_file)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    Register with the :func:`register` decorator so the CLI and test
+    suite can discover them.
+    """
+
+    rule_id: str = "ML999"
+    name: str = "unnamed-rule"
+    description: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for ``module``.  Subclasses must override."""
+        raise StaticAnalysisError(
+            f"rule {type(self).__name__} does not implement check()"
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding ``rule_cls`` to the global registry."""
+    rule_id = rule_cls.rule_id
+    if not re.fullmatch(r"ML\d{3}", rule_id):
+        raise StaticAnalysisError(f"bad rule id {rule_id!r}: expected MLnnn")
+    existing = _REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_cls:
+        raise StaticAnalysisError(
+            f"duplicate rule id {rule_id}: {existing.__name__} vs {rule_cls.__name__}"
+        )
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> list[type[Rule]]:
+    """Every registered rule class, sorted by rule id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> type[Rule]:
+    """Look up one rule class; raises for unknown ids."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise StaticAnalysisError(
+            f"unknown rule id {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def _select_rules(
+    select: Sequence[str] | None, ignore: Sequence[str] | None
+) -> list[Rule]:
+    chosen = [get_rule(rid) for rid in select] if select else all_rules()
+    ignored = set(ignore or ())
+    for rid in ignored:
+        get_rule(rid)  # validate the id even when ignoring it
+    return [cls() for cls in chosen if cls.rule_id not in ignored]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory module and return unsuppressed findings."""
+    try:
+        module = ModuleContext.from_source(source, path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id=PARSE_ERROR_RULE,
+                message=f"could not parse module: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in _select_rules(select, ignore):
+        for finding in rule.check(module):
+            if not module.is_suppressed(finding.rule_id, finding.line):
+                findings.append(finding)
+    return sorted(findings)
+
+
+#: Directory names never descended into during file discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist", ".mypy_cache", ".ruff_cache"}
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (files pass through as-is)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+        elif not path.exists():
+            raise StaticAnalysisError(f"no such file or directory: {path}")
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    reader: Callable[[Path], str] | None = None,
+) -> list[Finding]:
+    """Lint every Python file under ``paths``.
+
+    ``reader`` exists for tests; it defaults to reading from disk.
+    """
+    read = reader if reader is not None else lambda p: p.read_text(encoding="utf-8")
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_source(read(path), str(path), select=select, ignore=ignore))
+    return sorted(findings)

@@ -1,0 +1,24 @@
+"""Built-in MilBack lint rules.
+
+Importing this package registers every rule with the engine registry in
+:mod:`repro.lint.core`.  Each rule lives in its own module so a rule can
+be read, tested, and (when needed) suppressed in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.ml001_rng import LegacyNumpyRandomRule
+from repro.lint.rules.ml002_units import UnitSuffixRule
+from repro.lint.rules.ml003_float_eq import FloatEqualityRule
+from repro.lint.rules.ml004_errors import ErrorHierarchyRule
+from repro.lint.rules.ml005_mutable_defaults import MutableDefaultRule
+from repro.lint.rules.ml006_all import DunderAllRule
+
+__all__ = [
+    "LegacyNumpyRandomRule",
+    "UnitSuffixRule",
+    "FloatEqualityRule",
+    "ErrorHierarchyRule",
+    "MutableDefaultRule",
+    "DunderAllRule",
+]

@@ -1,0 +1,105 @@
+"""ML001 — no legacy ``np.random`` draws.
+
+A Monte-Carlo link simulation is only reproducible when every random
+draw flows from a seed the caller controls.  The legacy
+``np.random.<fn>`` functions (and ``RandomState``) share hidden global
+state, so one stray call silently decorrelates every experiment in the
+process.  The fix is the pattern ``src/repro/experiments/`` already
+uses: build generators with ``np.random.default_rng(seed)`` (or
+``repro.utils.rng.spawn_rngs``) and pass them down.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleContext, Rule, register
+
+__all__ = ["LegacyNumpyRandomRule", "LEGACY_FUNCTIONS"]
+
+#: Module-level functions of the legacy global-state RandomState API.
+LEGACY_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "seed", "get_state", "set_state", "rand", "randn", "randint",
+        "random_integers", "random_sample", "random", "ranf", "sample",
+        "choice", "bytes", "shuffle", "permutation", "beta", "binomial",
+        "chisquare", "dirichlet", "exponential", "f", "gamma", "geometric",
+        "gumbel", "hypergeometric", "laplace", "logistic", "lognormal",
+        "logseries", "multinomial", "multivariate_normal",
+        "negative_binomial", "noncentral_chisquare", "noncentral_f",
+        "normal", "pareto", "poisson", "power", "rayleigh",
+        "standard_cauchy", "standard_exponential", "standard_gamma",
+        "standard_normal", "standard_t", "triangular", "uniform",
+        "vonmises", "wald", "weibull", "zipf", "RandomState",
+    }
+)
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``np.random.rand`` → ``"np.random.rand"`` (None when not a chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class LegacyNumpyRandomRule(Rule):
+    rule_id = "ML001"
+    name = "no-legacy-numpy-random"
+    description = (
+        "Random draws must use a seeded np.random.default_rng() / passed-in "
+        "Generator, never the global-state legacy np.random functions."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        numpy_aliases: set[str] = set()
+        random_aliases: set[str] = set()
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            random_aliases.add(alias.asname)
+                        else:
+                            numpy_aliases.add("numpy")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            random_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name in LEGACY_FUNCTIONS:
+                            yield module.finding(
+                                self,
+                                node,
+                                f"import of legacy numpy.random.{alias.name}; "
+                                "use np.random.default_rng() or a passed-in Generator",
+                            )
+
+        legacy_prefixes = {f"{alias}.random" for alias in numpy_aliases}
+        legacy_prefixes |= random_aliases
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            dotted = _dotted(node)
+            if dotted is None:
+                continue
+            prefix, _, attr = dotted.rpartition(".")
+            if prefix in legacy_prefixes and attr in LEGACY_FUNCTIONS:
+                yield module.finding(
+                    self,
+                    node,
+                    f"legacy global-state call {dotted}; use a seeded "
+                    "np.random.default_rng() / passed-in Generator instead",
+                )

@@ -1,0 +1,55 @@
+"""ML005 — no mutable default arguments.
+
+A mutable default (``def f(x, acc=[])``) is evaluated once at function
+definition and then shared by every call — state leaks between
+independent simulation runs, which is exactly the cross-trial coupling
+a Monte-Carlo study must never have.  Use ``None`` and materialise the
+default inside the function body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleContext, Rule, register
+
+__all__ = ["MutableDefaultRule"]
+
+#: Constructor names whose call results are mutable containers.
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "deque"})
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "ML005"
+    name = "no-mutable-default"
+    description = "Default argument values must be immutable (use None instead)."
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield module.finding(
+                        self,
+                        default,
+                        f"mutable default argument in '{label}'; default to "
+                        "None and build the container inside the body",
+                    )

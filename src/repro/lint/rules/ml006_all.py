@@ -1,0 +1,131 @@
+"""ML006 — public modules declare an accurate ``__all__``.
+
+``__all__`` is the module's public contract: it pins what ``import *``
+exposes, what the docs index, and — for this codebase — what the next
+refactor must keep working.  The rule requires every public module
+(filename not starting with ``_``, plus package ``__init__``) to:
+
+1. define ``__all__`` as a literal list/tuple of strings,
+2. list only names actually bound at module top level, and
+3. list every public top-level ``def`` / ``class``.
+
+Module-level constants may be exported but are not required to be (a
+module like ``constants.py`` opts in by listing them).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleContext, Rule, register
+
+__all__ = ["DunderAllRule", "is_public_module"]
+
+
+def is_public_module(path: str) -> bool:
+    """Public = importable API surface: ``foo.py`` or ``__init__.py``."""
+    stem = PurePath(path).stem
+    return not stem.startswith("_") or stem == "__init__"
+
+
+def _top_level_bindings(tree: ast.Module) -> set[str]:
+    bound: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+                elif isinstance(target, ast.Tuple):
+                    bound.update(
+                        elt.id for elt in target.elts if isinstance(elt, ast.Name)
+                    )
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # typing/availability guards: count bindings one level down
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    bound.add(sub.name)
+                elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            bound.add(alias.asname or alias.name.split(".")[0])
+    return bound
+
+
+@register
+class DunderAllRule(Rule):
+    rule_id = "ML006"
+    name = "accurate-dunder-all"
+    description = (
+        "Every public module must declare __all__ listing exactly its "
+        "public defs (and any exported constants)."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not is_public_module(module.path):
+            return
+
+        all_node: ast.expr | None = None
+        all_lineno = 1
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                if "__all__" in names:
+                    all_node, all_lineno = node.value, node.lineno
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == "__all__"
+                and node.value is not None
+            ):
+                all_node, all_lineno = node.value, node.lineno
+
+        if all_node is None:
+            yield module.finding(
+                self, None, "public module does not declare __all__", line=1, col=0
+            )
+            return
+
+        if not isinstance(all_node, (ast.List, ast.Tuple)) or not all(
+            isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            for elt in all_node.elts
+        ):
+            yield module.finding(
+                self,
+                all_node,
+                "__all__ must be a literal list/tuple of string names",
+            )
+            return
+
+        exported = [elt.value for elt in all_node.elts if isinstance(elt, ast.Constant)]
+        bound = _top_level_bindings(module.tree)
+
+        for name in exported:
+            if name not in bound:
+                yield module.finding(
+                    self,
+                    all_node,
+                    f"__all__ lists '{name}' which is not defined in the module",
+                    line=all_lineno,
+                )
+
+        exported_set = set(exported)
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if not node.name.startswith("_") and node.name not in exported_set:
+                    kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                    yield module.finding(
+                        self,
+                        node,
+                        f"public {kind} '{node.name}' is missing from __all__",
+                    )

@@ -1,0 +1,114 @@
+"""Unit-suffix inference shared by the ML002 and ML003 rules.
+
+The codebase convention (see ``src/repro/constants.py`` and
+``src/repro/utils/units.py``) is that a name holding a physical quantity
+carries its unit as a trailing suffix: ``chirp_bw_hz``, ``range_m``,
+``tx_power_dbm``, ``heading_deg``.  This module recognises those
+suffixes and propagates them through the handful of expression shapes
+where the unit of the result is unambiguous:
+
+* alias:           ``f = start_hz``                 → Hz
+* attribute/index: ``f = chirp.start_hz``,
+                   ``f = freqs_hz[0]``              → Hz
+* same-unit sum:   ``f = start_hz + offset_hz``     → Hz
+* numeric scale:   ``f = 0.5 * span_hz``            → Hz
+* negation:        ``f = -doppler_hz``              → Hz
+
+Anything else — calls, mixed-unit arithmetic, divisions (which usually
+produce a *different* or dimensionless quantity) — deliberately infers
+nothing, keeping false positives near zero at the cost of some misses.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["UNIT_SUFFIXES", "unit_of_name", "infer_unit"]
+
+#: Recognised unit suffixes (lower-case; names are matched case-insensitively).
+#: Compound suffixes (``v_per_sqrt_w``) are listed before their tails would
+#: match so that the most specific suffix wins.
+UNIT_SUFFIXES: frozenset[str] = frozenset(
+    {
+        # frequency / rate
+        "hz", "khz", "mhz", "ghz", "bps", "kbps", "mbps", "gbps", "baud",
+        # length / geometry
+        "m", "mm", "cm", "km", "wavelengths",
+        # time
+        "s", "ms", "us", "ns", "ps",
+        # power / gain (log and linear)
+        "db", "dbi", "dbm", "dbc", "w", "mw", "uw", "nw",
+        # angle
+        "rad", "deg",
+        # energy / electrical (no bare ampere suffixes: `_a`/`_b` are port
+        # labels in this codebase — switch_a, detector_b — not currents)
+        "j", "mj", "uj", "nj", "pj", "v", "mv", "uv", "ohm",
+        # temperature / misc physics
+        "k", "kelvin",
+        # compound rates common in this codebase
+        "hz_per_s", "m_per_s", "deg_per_s", "rad_per_s", "j_per_bit",
+        "v_per_sqrt_w", "np_per_m", "db_per_m", "db_per_km", "dbm_per_hz",
+        "v_per_rt_hz", "w_per_hz", "s_per_m",
+    }
+)
+
+#: Longest suffix is 4 words (``v_per_sqrt_w``).
+_MAX_SUFFIX_WORDS = 4
+
+
+def unit_of_name(name: str) -> str | None:
+    """The unit suffix carried by ``name``, or None.
+
+    ``BAND_WIDTH_HZ`` → ``"hz"``; ``range_m`` → ``"m"``; ``count`` → None.
+    A suffix only counts when separated by an underscore, so ``alarm``
+    does not read as amperes.
+    """
+    words = name.lower().split("_")
+    if len(words) < 2:
+        return None
+    for take in range(min(_MAX_SUFFIX_WORDS, len(words) - 1), 0, -1):
+        candidate = "_".join(words[-take:])
+        if candidate in UNIT_SUFFIXES:
+            return candidate
+    return None
+
+
+def _is_number(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(node.value, bool)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_number(node.operand)
+    return False
+
+
+def infer_unit(node: ast.expr) -> str | None:
+    """Unit of the expression ``node``, or None when not provable."""
+    if isinstance(node, ast.Name):
+        return unit_of_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_of_name(node.attr)
+    if isinstance(node, ast.Subscript):
+        return infer_unit(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return infer_unit(node.operand)
+    if isinstance(node, ast.IfExp):
+        body, orelse = infer_unit(node.body), infer_unit(node.orelse)
+        return body if body is not None and body == orelse else None
+    if isinstance(node, ast.BinOp):
+        left, right = node.left, node.right
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            lu, ru = infer_unit(left), infer_unit(right)
+            return lu if lu is not None and lu == ru else None
+        if isinstance(node.op, ast.Mult):
+            lu, ru = infer_unit(left), infer_unit(right)
+            if lu is not None and ru is None and _is_number(right):
+                return lu
+            if ru is not None and lu is None and _is_number(left):
+                return ru
+            return None
+        if isinstance(node.op, ast.Div):
+            lu = infer_unit(left)
+            if lu is not None and _is_number(right):
+                return lu
+            return None
+    return None

@@ -113,10 +113,11 @@ class NodeFirmware:
 
     def _slot_waveforms(self, adc_a: Signal, adc_b: Signal) -> list[np.ndarray]:
         """Per-slot baseline-removed detector waveforms (ports summed)."""
-        fs = adc_a.sample_rate_hz
-        if adc_b.sample_rate_hz != fs:
+        fs_hz = adc_a.sample_rate_hz
+        # Both ports sample on one MCU clock; the grids must match exactly.
+        if adc_b.sample_rate_hz != fs_hz:  # milback: disable=ML003
             raise ProtocolError("port ADC streams have different rates")
-        slot_samples = int(round(self.chirp.duration_s * fs))
+        slot_samples = int(round(self.chirp.duration_s * fs_hz))
         needed = self.FIELD1_SLOTS * slot_samples
         if adc_a.samples.size < needed or adc_b.samples.size < needed:
             raise ProtocolError(f"Field 1 capture too short: need {needed} samples")
@@ -134,10 +135,11 @@ class NodeFirmware:
         return float(np.dot(slot[:n], reference[:n]))
 
     def _slot_energies(self, adc_a: Signal, adc_b: Signal) -> np.ndarray:
-        fs = adc_a.sample_rate_hz
-        if adc_b.sample_rate_hz != fs:
+        fs_hz = adc_a.sample_rate_hz
+        # Both ports sample on one MCU clock; the grids must match exactly.
+        if adc_b.sample_rate_hz != fs_hz:  # milback: disable=ML003
             raise ProtocolError("port ADC streams have different rates")
-        slot_samples = int(round(self.chirp.duration_s * fs))
+        slot_samples = int(round(self.chirp.duration_s * fs_hz))
         needed = self.FIELD1_SLOTS * slot_samples
         if adc_a.samples.size < needed or adc_b.samples.size < needed:
             raise ProtocolError(

@@ -57,18 +57,18 @@ class UplinkModulator:
         if bit_rate_bps <= 0:
             raise ConfigurationError("bit rate must be positive")
         self.config.validate_uplink_rate(bit_rate_bps)
-        symbol_rate = bit_rate_bps / 2.0
-        samples_per_symbol = int(round(sample_rate_hz / symbol_rate))
+        symbol_rate_bps = bit_rate_bps / 2.0
+        samples_per_symbol = int(round(sample_rate_hz / symbol_rate_bps))
         if samples_per_symbol < 4:
             raise ConfigurationError(
                 "fewer than 4 samples per symbol; raise the simulation rate"
             )
-        self.config.switch_a.check_toggle_rate(symbol_rate)
-        self.config.switch_b.check_toggle_rate(symbol_rate)
-        self.config.mcu.check_switching_rate(symbol_rate)
+        self.config.switch_a.check_toggle_rate(symbol_rate_bps)
+        self.config.switch_b.check_toggle_rate(symbol_rate_bps)
+        self.config.mcu.check_switching_rate(symbol_rate_bps)
         symbols = bits_to_symbols(bits)
         gate_a, gate_b = tone_gates(symbols, samples_per_symbol)
-        return GatePair(gate_a, gate_b, symbol_rate, samples_per_symbol)
+        return GatePair(gate_a, gate_b, symbol_rate_bps, samples_per_symbol)
 
     def localization_gates(
         self,

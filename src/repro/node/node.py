@@ -73,9 +73,9 @@ class BackscatterNode:
         if uplink_bit_rate_bps <= 0:
             raise ConfigurationError("uplink rate must be positive")
         budget = PowerBudget(include_mcu=include_mcu, mcu_power_w=self.config.mcu.active_power_w)
-        symbol_rate = uplink_bit_rate_bps / 2.0
-        budget.add(self.config.switch_a.power_model(symbol_rate))
-        budget.add(self.config.switch_b.power_model(symbol_rate))
+        symbol_rate_bps = uplink_bit_rate_bps / 2.0
+        budget.add(self.config.switch_a.power_model(symbol_rate_bps))
+        budget.add(self.config.switch_b.power_model(symbol_rate_bps))
         budget.add(self.config.detector_a.power_model())
         budget.add(self.config.detector_b.power_model())
         return budget

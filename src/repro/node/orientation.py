@@ -87,8 +87,8 @@ class NodeOrientationEstimator:
         """Average up/down peak separation across chirp periods."""
         if n_chirps < 1:
             raise LocalizationError("need at least one chirp")
-        fs = adc.sample_rate_hz
-        period_samples = int(round(self.chirp.duration_s * fs))
+        fs_hz = adc.sample_rate_hz
+        period_samples = int(round(self.chirp.duration_s * fs_hz))
         if adc.samples.size < n_chirps * period_samples:
             raise LocalizationError(
                 f"ADC capture too short: {adc.samples.size} samples for "
@@ -97,7 +97,7 @@ class NodeOrientationEstimator:
         gaps = []
         for k in range(n_chirps):
             segment = adc.samples[k * period_samples : (k + 1) * period_samples].real
-            gaps.append(self._peak_gap_one_chirp(segment, fs))
+            gaps.append(self._peak_gap_one_chirp(segment, fs_hz))
         return float(np.mean(gaps))
 
     def _peak_gap_one_chirp(self, values: np.ndarray, fs: float) -> float:

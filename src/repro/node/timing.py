@@ -31,8 +31,8 @@ def variance_profile(
     """
     if symbol_rate_hz <= 0:
         raise DecodingError("symbol rate must be positive")
-    fs = signal.sample_rate_hz
-    samples_per_symbol = fs / symbol_rate_hz
+    fs_hz = signal.sample_rate_hz
+    samples_per_symbol = fs_hz / symbol_rate_hz
     if samples_per_symbol < 4:
         raise DecodingError("fewer than 4 samples per symbol")
     n_symbols = int(signal.samples.size // samples_per_symbol) - 1
@@ -42,7 +42,7 @@ def variance_profile(
     offsets = np.linspace(0.0, 1.0 / symbol_rate_hz, n_offsets, endpoint=False)
     variances = np.empty(n_offsets)
     for i, offset in enumerate(offsets):
-        start = offset * fs
+        start = offset * fs_hz
         # Integrate the FULL candidate window (no guard): a misaligned
         # window then mixes adjacent symbols and the variance statistic
         # peaks sharply at the true phase. (Decoding keeps its guard;

@@ -10,13 +10,15 @@ for comparison, and a Monte-Carlo counter for measured links.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "FloatOrArray",
     "q_function",
     "ook_matched_filter_ber",
     "ook_noncoherent_ber",
@@ -25,14 +27,18 @@ __all__ = [
 ]
 
 
-def q_function(x):
+#: Scalar-in → scalar-out, array-in → array-out.
+FloatOrArray = Union[float, NDArray[np.float64]]
+
+
+def q_function(x: ArrayLike) -> FloatOrArray:
     """Gaussian tail probability Q(x)."""
-    x = np.asarray(x, dtype=float)
-    result = 0.5 * np.vectorize(math.erfc)(x / math.sqrt(2.0))
+    arr = np.asarray(x, dtype=float)
+    result = 0.5 * np.vectorize(math.erfc)(arr / math.sqrt(2.0))
     return result if result.ndim else float(result)
 
 
-def ook_matched_filter_ber(snr_db):
+def ook_matched_filter_ber(snr_db: ArrayLike) -> FloatOrArray:
     """Matched-filter OOK with optimal threshold: BER = Q(√(2·SNR)).
 
     SNR is the post-integration symbol SNR. This mapping reproduces the
@@ -42,7 +48,7 @@ def ook_matched_filter_ber(snr_db):
     return q_function(np.sqrt(2.0 * snr))
 
 
-def ook_noncoherent_ber(snr_db):
+def ook_noncoherent_ber(snr_db: ArrayLike) -> FloatOrArray:
     """Noncoherent envelope-detected OOK bound: BER ≈ ½·exp(−SNR/2)."""
     snr = np.power(10.0, np.asarray(snr_db, dtype=float) / 10.0)
     result = 0.5 * np.exp(-snr / 2.0)

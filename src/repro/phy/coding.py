@@ -9,7 +9,10 @@ fading beam edge produces.
 
 from __future__ import annotations
 
+from typing import Final
+
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import ConfigurationError, DecodingError
 
@@ -43,7 +46,7 @@ _H = np.array(
 )
 
 #: Syndrome (as integer) → error position in the 7-bit codeword.
-_SYNDROME_TO_POSITION = {}
+_SYNDROME_TO_POSITION: Final[dict[int, int]] = {}
 for _pos in range(7):
     _e = np.zeros(7, dtype=np.uint8)
     _e[_pos] = 1
@@ -56,12 +59,12 @@ def code_rate() -> float:
     return 4.0 / 7.0
 
 
-def hamming74_encode(bits) -> np.ndarray:
+def hamming74_encode(bits: ArrayLike) -> NDArray[np.uint8]:
     """Encode a bit stream into Hamming(7,4) codewords.
 
     Input is zero-padded to a multiple of 4 data bits.
     """
-    data = np.asarray(list(bits), dtype=np.uint8)
+    data = np.asarray(bits, dtype=np.uint8).ravel()
     if data.size == 0:
         raise ConfigurationError("no bits to encode")
     if np.any(data > 1):
@@ -73,15 +76,15 @@ def hamming74_encode(bits) -> np.ndarray:
     return ((blocks @ _G) % 2).reshape(-1).astype(np.uint8)
 
 
-def hamming74_decode(coded) -> tuple[np.ndarray, int]:
+def hamming74_decode(coded: ArrayLike) -> tuple[NDArray[np.uint8], int]:
     """Decode codewords, correcting up to one bit error each.
 
     Returns ``(data_bits, n_corrected)``.
     """
-    coded = np.asarray(list(coded), dtype=np.uint8)
-    if coded.size == 0 or coded.size % 7:
-        raise DecodingError(f"coded length {coded.size} is not a multiple of 7")
-    words = coded.reshape(-1, 7).copy()
+    arr = np.asarray(coded, dtype=np.uint8).ravel()
+    if arr.size == 0 or arr.size % 7:
+        raise DecodingError(f"coded length {arr.size} is not a multiple of 7")
+    words = arr.reshape(-1, 7).copy()
     syndromes = (words @ _H.T) % 2
     corrected = 0
     for i, syndrome in enumerate(syndromes):
@@ -93,7 +96,7 @@ def hamming74_decode(coded) -> tuple[np.ndarray, int]:
     return words[:, :4].reshape(-1).astype(np.uint8), corrected
 
 
-def interleave(bits, depth: int = 8) -> np.ndarray:
+def interleave(bits: ArrayLike, depth: int = 8) -> NDArray[np.uint8]:
     """Block interleaver: write rows of ``depth``, read columns.
 
     Zero-pads to a full block; pair with :func:`deinterleave` at the
@@ -101,20 +104,20 @@ def interleave(bits, depth: int = 8) -> np.ndarray:
     """
     if depth < 1:
         raise ConfigurationError("depth must be >= 1")
-    bits = np.asarray(list(bits), dtype=np.uint8)
-    if bits.size == 0:
+    arr = np.asarray(bits, dtype=np.uint8).ravel()
+    if arr.size == 0:
         raise ConfigurationError("nothing to interleave")
-    pad = (-bits.size) % depth
+    pad = (-arr.size) % depth
     if pad:
-        bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
-    return bits.reshape(-1, depth).T.reshape(-1)
+        arr = np.concatenate([arr, np.zeros(pad, dtype=np.uint8)])
+    return arr.reshape(-1, depth).T.reshape(-1)
 
 
-def deinterleave(bits, depth: int = 8) -> np.ndarray:
+def deinterleave(bits: ArrayLike, depth: int = 8) -> NDArray[np.uint8]:
     """Inverse of :func:`interleave` (length must be a depth multiple)."""
     if depth < 1:
         raise ConfigurationError("depth must be >= 1")
-    bits = np.asarray(list(bits), dtype=np.uint8)
-    if bits.size == 0 or bits.size % depth:
-        raise DecodingError(f"length {bits.size} is not a multiple of depth {depth}")
-    return bits.reshape(depth, -1).T.reshape(-1)
+    arr = np.asarray(bits, dtype=np.uint8).ravel()
+    if arr.size == 0 or arr.size % depth:
+        raise DecodingError(f"length {arr.size} is not a multiple of depth {depth}")
+    return arr.reshape(depth, -1).T.reshape(-1)

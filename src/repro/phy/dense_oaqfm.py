@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import ConfigurationError, DecodingError
 
@@ -92,7 +93,7 @@ class DenseOaqfmScheme:
 def dense_symbol_levels(
     bits: Sequence[int],
     scheme: DenseOaqfmScheme,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[NDArray[np.int_], NDArray[np.int_]]:
     """Map a bit stream to per-symbol (tone A level, tone B level) arrays.
 
     Bits are zero-padded to a whole number of symbols. Within a symbol
@@ -118,35 +119,34 @@ def dense_symbol_levels(
 
 
 def decode_dense_levels(
-    measured_a: np.ndarray,
-    measured_b: np.ndarray,
+    measured_a: ArrayLike,
+    measured_b: ArrayLike,
     scheme: DenseOaqfmScheme,
-) -> np.ndarray:
+) -> NDArray[np.uint8]:
     """Slice measured per-symbol detector levels back to bits.
 
     The full-scale reference is estimated per port from the strongest
     symbols (a preamble in a deployed link; here the payload itself is
     long enough). Levels quantize to the nearest constellation point.
     """
-    measured_a = np.asarray(measured_a, dtype=float)
-    measured_b = np.asarray(measured_b, dtype=float)
-    if measured_a.size != measured_b.size:
+    arr_a = np.asarray(measured_a, dtype=float)
+    arr_b = np.asarray(measured_b, dtype=float)
+    if arr_a.size != arr_b.size:
         raise DecodingError("port level streams differ in length")
-    if measured_a.size == 0:
+    if arr_a.size == 0:
         raise DecodingError("no symbols to decode")
-    ref_a = _full_scale_estimate(measured_a, scheme)
-    ref_b = _full_scale_estimate(measured_b, scheme)
-    out = np.empty(measured_a.size * scheme.bits_per_symbol, dtype=np.uint8)
-    half = scheme.bits_per_tone
-    for k in range(measured_a.size):
-        level_a = _nearest_level(measured_a[k], ref_a, scheme)
-        level_b = _nearest_level(measured_b[k], ref_b, scheme)
+    ref_a = _full_scale_estimate(arr_a, scheme)
+    ref_b = _full_scale_estimate(arr_b, scheme)
+    out = np.empty(arr_a.size * scheme.bits_per_symbol, dtype=np.uint8)
+    for k in range(arr_a.size):
+        level_a = _nearest_level(float(arr_a[k]), ref_a, scheme)
+        level_b = _nearest_level(float(arr_b[k]), ref_b, scheme)
         symbol_bits = scheme.bits_for_level(level_a) + scheme.bits_for_level(level_b)
         out[k * scheme.bits_per_symbol : (k + 1) * scheme.bits_per_symbol] = symbol_bits
     return out
 
 
-def _full_scale_estimate(levels: np.ndarray, scheme: DenseOaqfmScheme) -> float:
+def _full_scale_estimate(levels: NDArray[np.float64], scheme: DenseOaqfmScheme) -> float:
     """Robust full-scale amplitude: mean of the top decile of symbols.
 
     Assumes the burst contains at least a few full-amplitude symbols —

@@ -9,8 +9,10 @@ corrupted payloads are detected rather than silently delivered.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Final
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import ProtocolError
 
@@ -22,18 +24,19 @@ __all__ = [
     "encode_frame",
     "decode_frame",
     "FrameHeader",
+    "find_sync",
 ]
 
 #: Barker-13-derived sync pattern, good autocorrelation for alignment.
-SYNC_WORD_BITS = np.array(
+SYNC_WORD_BITS: Final[NDArray[np.uint8]] = np.array(
     [1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1, 0, 1, 1], dtype=np.uint8
 )
 
-_CRC_POLY = 0x1021
-_CRC_INIT = 0xFFFF
+_CRC_POLY: Final[int] = 0x1021
+_CRC_INIT: Final[int] = 0xFFFF
 
 #: Maximum payload the 16-bit length field admits.
-MAX_PAYLOAD_BYTES = 65_535
+MAX_PAYLOAD_BYTES: Final[int] = 65_535
 
 
 def crc16_ccitt(data: bytes, init: int = _CRC_INIT) -> int:
@@ -49,7 +52,7 @@ def crc16_ccitt(data: bytes, init: int = _CRC_INIT) -> int:
     return crc
 
 
-def bytes_to_bits(data: bytes) -> np.ndarray:
+def bytes_to_bits(data: bytes) -> NDArray[np.uint8]:
     """MSB-first bit expansion."""
     if not data:
         return np.zeros(0, dtype=np.uint8)
@@ -57,12 +60,12 @@ def bytes_to_bits(data: bytes) -> np.ndarray:
     return np.unpackbits(arr)
 
 
-def bits_to_bytes(bits: np.ndarray) -> bytes:
+def bits_to_bytes(bits: ArrayLike) -> bytes:
     """Inverse of :func:`bytes_to_bits`; length must be a multiple of 8."""
-    bits = np.asarray(bits, dtype=np.uint8)
-    if bits.size % 8:
-        raise ProtocolError(f"bit count {bits.size} is not a whole number of bytes")
-    return np.packbits(bits).tobytes()
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.size % 8:
+        raise ProtocolError(f"bit count {arr.size} is not a whole number of bytes")
+    return np.packbits(arr).tobytes()
 
 
 @dataclass(frozen=True)
@@ -73,7 +76,7 @@ class FrameHeader:
     crc_ok: bool
 
 
-def encode_frame(payload: bytes) -> np.ndarray:
+def encode_frame(payload: bytes) -> NDArray[np.uint8]:
     """sync(16) | length(16) | payload | crc16 as a bit vector."""
     if len(payload) > MAX_PAYLOAD_BYTES:
         raise ProtocolError(f"payload too long ({len(payload)} bytes)")
@@ -83,20 +86,20 @@ def encode_frame(payload: bytes) -> np.ndarray:
     return np.concatenate([SYNC_WORD_BITS, body_bits])
 
 
-def find_sync(bits: np.ndarray, max_errors: int = 1) -> int:
+def find_sync(bits: ArrayLike, max_errors: int = 1) -> int:
     """Index right after the best sync-word match.
 
     Tolerates up to ``max_errors`` bit flips inside the sync pattern so a
     noisy first symbol doesn't lose the whole frame.
     """
-    bits = np.asarray(bits, dtype=np.uint8)
+    arr = np.asarray(bits, dtype=np.uint8)
     n = SYNC_WORD_BITS.size
-    if bits.size < n:
+    if arr.size < n:
         raise ProtocolError("bit stream shorter than the sync word")
     best_pos, best_err = -1, n + 1
-    limit = bits.size - n
+    limit = arr.size - n
     for pos in range(limit + 1):
-        err = int(np.count_nonzero(bits[pos : pos + n] != SYNC_WORD_BITS))
+        err = int(np.count_nonzero(arr[pos : pos + n] != SYNC_WORD_BITS))
         if err < best_err:
             best_pos, best_err = pos, err
             if err == 0:
@@ -106,7 +109,7 @@ def find_sync(bits: np.ndarray, max_errors: int = 1) -> int:
     return best_pos + n
 
 
-def decode_frame(bits: np.ndarray, max_sync_errors: int = 1) -> tuple[FrameHeader, bytes]:
+def decode_frame(bits: ArrayLike, max_sync_errors: int = 1) -> tuple[FrameHeader, bytes]:
     """Parse a frame out of a received bit stream.
 
     Returns the header (with CRC verdict) and the payload bytes. Raises
@@ -114,8 +117,9 @@ def decode_frame(bits: np.ndarray, max_sync_errors: int = 1) -> tuple[FrameHeade
     mid-frame; CRC failures are *reported*, not raised, so callers can
     count them as bit-error statistics.
     """
-    start = find_sync(np.asarray(bits, dtype=np.uint8), max_sync_errors)
-    rest = np.asarray(bits[start:], dtype=np.uint8)
+    stream = np.asarray(bits, dtype=np.uint8)
+    start = find_sync(stream, max_sync_errors)
+    rest = stream[start:]
     if rest.size < 16:
         raise ProtocolError("frame truncated before length field")
     length = int.from_bytes(bits_to_bytes(rest[:16]), "big")

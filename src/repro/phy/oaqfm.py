@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.antennas.dual_port_fsa import TonePair
 from repro.dsp.signal import Signal
@@ -71,7 +72,7 @@ def bits_to_symbols(bits: Sequence[int]) -> list[OaqfmSymbol]:
     ]
 
 
-def symbols_to_bits(symbols: Sequence[OaqfmSymbol]) -> np.ndarray:
+def symbols_to_bits(symbols: Sequence[OaqfmSymbol]) -> NDArray[np.uint8]:
     """Unpack symbols back into the interleaved bit vector."""
     if not symbols:
         raise DecodingError("no symbols to unpack")
@@ -84,7 +85,7 @@ def symbols_to_bits(symbols: Sequence[OaqfmSymbol]) -> np.ndarray:
 def tone_gates(
     symbols: Sequence[OaqfmSymbol],
     samples_per_symbol: int,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[NDArray[np.float64], NDArray[np.float64]]:
     """Per-sample on/off gates for tone A and tone B."""
     if samples_per_symbol < 1:
         raise ConfigurationError("samples_per_symbol must be >= 1")
@@ -112,15 +113,15 @@ def oaqfm_waveform(
         raise ConfigurationError(
             "fewer than 4 samples per symbol; raise the sample rate"
         )
-    center = (
+    center_hz = (
         0.5 * (pair.freq_a_hz + pair.freq_b_hz)
         if center_frequency_hz is None
         else center_frequency_hz
     )
     duration = len(symbols) * samples_per_symbol / sample_rate_hz
-    carrier_a = tone(pair.freq_a_hz, duration, sample_rate_hz, amplitude, center)
-    carrier_b = tone(pair.freq_b_hz, duration, sample_rate_hz, amplitude, center)
+    carrier_a = tone(pair.freq_a_hz, duration, sample_rate_hz, amplitude, center_hz)
+    carrier_b = tone(pair.freq_b_hz, duration, sample_rate_hz, amplitude, center_hz)
     gate_a, gate_b = tone_gates(symbols, samples_per_symbol)
     n = carrier_a.samples.size
     samples = carrier_a.samples * gate_a[:n] + carrier_b.samples * gate_b[:n]
-    return Signal(samples, sample_rate_hz, center, 0.0)
+    return Signal(samples, sample_rate_hz, center_hz, 0.0)

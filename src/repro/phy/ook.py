@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.dsp.modulation import threshold_slice
 from repro.dsp.signal import Signal
@@ -40,6 +41,9 @@ def ook_waveform(
     )
 
 
-def decode_ook_levels(levels: np.ndarray, threshold: float | None = None) -> np.ndarray:
+def decode_ook_levels(
+    levels: NDArray[np.float64], threshold: float | None = None
+) -> NDArray[np.uint8]:
     """Slice integrated symbol levels into bits."""
-    return threshold_slice(levels, threshold)
+    sliced: NDArray[np.uint8] = threshold_slice(levels, threshold)
+    return sliced

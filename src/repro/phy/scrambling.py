@@ -10,16 +10,17 @@ Polynomial x⁷+x⁴+1 (the classic V.27/802.11-style choice).
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import ConfigurationError
 
 __all__ = ["lfsr_sequence", "scramble", "descramble", "DEFAULT_SEED"]
 
 #: Non-zero 7-bit LFSR seed used across the stack.
-DEFAULT_SEED = 0b1011101
+DEFAULT_SEED: int = 0b1011101
 
 
-def lfsr_sequence(n_bits: int, seed: int = DEFAULT_SEED) -> np.ndarray:
+def lfsr_sequence(n_bits: int, seed: int = DEFAULT_SEED) -> NDArray[np.uint8]:
     """First ``n_bits`` of the x⁷+x⁴+1 LFSR stream."""
     if n_bits < 0:
         raise ConfigurationError("n_bits must be non-negative")
@@ -34,14 +35,14 @@ def lfsr_sequence(n_bits: int, seed: int = DEFAULT_SEED) -> np.ndarray:
     return out
 
 
-def scramble(bits, seed: int = DEFAULT_SEED) -> np.ndarray:
+def scramble(bits: ArrayLike, seed: int = DEFAULT_SEED) -> NDArray[np.uint8]:
     """XOR a bit stream with the LFSR sequence."""
-    bits = np.asarray(list(bits), dtype=np.uint8)
-    if np.any(bits > 1):
+    arr = np.asarray(bits, dtype=np.uint8).ravel()
+    if np.any(arr > 1):
         raise ConfigurationError("bits must be 0/1")
-    return bits ^ lfsr_sequence(bits.size, seed)
+    return arr ^ lfsr_sequence(arr.size, seed)
 
 
-def descramble(bits, seed: int = DEFAULT_SEED) -> np.ndarray:
+def descramble(bits: ArrayLike, seed: int = DEFAULT_SEED) -> NDArray[np.uint8]:
     """Inverse of :func:`scramble` (additive scrambling is an involution)."""
     return scramble(bits, seed)

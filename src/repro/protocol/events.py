@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.errors import ConfigurationError
+
 __all__ = ["Event", "EventLog"]
 
 
@@ -41,7 +43,7 @@ class EventLog:
     def advance(self, duration_s: float) -> None:
         """Move the clock forward (air time of a phase)."""
         if duration_s < 0:
-            raise ValueError("cannot advance time backwards")
+            raise ConfigurationError("cannot advance time backwards")
         self._clock_s += duration_s
 
     def record(self, kind: str, **detail: Any) -> Event:

@@ -115,7 +115,7 @@ class MilBackLink:
     ) -> SessionResult:
         if not payload:
             raise ProtocolError("payload must be non-empty")
-        start_time = self.log.now_s
+        start_time_s = self.log.now_s
 
         # Field 1: direction announcement + node-side orientation.
         announce_uplink = direction is PayloadDirection.UPLINK
@@ -160,10 +160,10 @@ class MilBackLink:
         self.sim.node.firmware.configure_for_payload(direction)
         if direction is PayloadDirection.DOWNLINK:
             run = self.sim.simulate_downlink(bits, bit_rate_bps, pair=pair)
-            quality = run.sinr_db
+            quality_db = run.sinr_db
         else:
             run = self.sim.simulate_uplink(bits, bit_rate_bps, pair=pair)
-            quality = run.snr_db
+            quality_db = run.snr_db
         try:
             rx_bits = run.rx_bits
             if self.use_fec:
@@ -186,7 +186,7 @@ class MilBackLink:
             "payload",
             direction=direction.value,
             bits=int(bits.size),
-            quality_db=round(quality, 1) if not np.isnan(quality) else None,
+            quality_db=round(quality_db, 1) if not np.isnan(quality_db) else None,
             crc_ok=crc_ok,
         )
         self.log.advance(payload_duration)
@@ -199,8 +199,8 @@ class MilBackLink:
             localization=localization,
             ap_orientation=ap_orientation,
             node_orientation=node_orientation,
-            link_quality_db=quality,
-            air_time_s=self.log.now_s - start_time,
+            link_quality_db=quality_db,
+            air_time_s=self.log.now_s - start_time_s,
         )
 
     def _node_orientation_from_field1(
@@ -212,10 +212,10 @@ class MilBackLink:
         first chirp is guaranteed present in both patterns.
         """
         chirp = self.sim.ap.config.field1_chirp
-        fs = adc_a.sample_rate_hz
-        n = int(round(chirp.duration_s * fs))
-        first_a = Signal(adc_a.samples[:n], fs, 0.0, adc_a.start_time_s)
-        first_b = Signal(adc_b.samples[:n], fs, 0.0, adc_b.start_time_s)
+        fs_hz = adc_a.sample_rate_hz
+        n = int(round(chirp.duration_s * fs_hz))
+        first_a = Signal(adc_a.samples[:n], fs_hz, 0.0, adc_a.start_time_s)
+        first_b = Signal(adc_b.samples[:n], fs_hz, 0.0, adc_b.start_time_s)
         estimate = self.sim.node.orientation_estimator.estimate(
             first_a, first_b, n_chirps=1
         )

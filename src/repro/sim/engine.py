@@ -149,16 +149,16 @@ class MilBackSimulator:
         self.scene = scene
         self.calibration = calibration or default_calibration()
         if node is None:
-            # The default node takes its detector noise density from the
+            # The default node takes its detector noise_v_per_rt_hz density from the
             # calibration, so the knob actually drives the simulation.
             from repro.hardware.envelope_detector import EnvelopeDetector
             from repro.node.config import NodeConfig
 
-            noise = self.calibration.node_detector_noise_v_per_rt_hz
+            noise_v_per_rt_hz = self.calibration.node_detector_noise_v_per_rt_hz
             node = BackscatterNode(
                 NodeConfig(
-                    detector_a=EnvelopeDetector(output_noise_v_per_rt_hz=noise),
-                    detector_b=EnvelopeDetector(output_noise_v_per_rt_hz=noise),
+                    detector_a=EnvelopeDetector(output_noise_v_per_rt_hz=noise_v_per_rt_hz),
+                    detector_b=EnvelopeDetector(output_noise_v_per_rt_hz=noise_v_per_rt_hz),
                 )
             )
         self.node = node
@@ -261,7 +261,7 @@ class MilBackSimulator:
         """Synthesize the dechirped (beat) records both RX chains capture.
 
         Stretch processing turns a reflector with round-trip delay τ into
-        a tone at slope·τ with phase 2π·f₀·τ; the node's contribution is
+        a tone at slope_hz_per_s·τ with phase 2π·f₀·τ; the node's contribution is
         additionally amplitude-shaped by its FSA gain at the chirp's
         instantaneous frequency, and gated by its per-chirp toggle state.
         Synthesizing this closed form at the beat sample rate is exact —
@@ -271,20 +271,20 @@ class MilBackSimulator:
         (used by discovery scans); the node's return then pays the horn
         roll-off twice and the clutter picture shifts accordingly.
         ``n_rx_antennas`` generalizes the AP's two-horn receiver to a
-        uniform linear array at the same baseline spacing (the phased-
+        uniform linear array at the same baseline_m spacing (the phased-
         array upgrade §9.2 points at); the return is one record list per
         antenna.
         """
         cfg = self.ap.config
         chirp = cfg.ranging_chirp
         n_chirps = n_chirps or cfg.n_ranging_chirps
-        fs = cfg.beat_sample_rate_hz
-        n = int(round(chirp.duration_s * fs))
-        t = np.arange(n) / fs
+        fs_hz = cfg.beat_sample_rate_hz
+        n = int(round(chirp.duration_s * fs_hz))
+        t = np.arange(n) / fs_hz
         f_inst = chirp.instantaneous_frequency_hz(t)
-        slope = chirp.slope_hz_per_s
+        slope_hz_per_s = chirp.slope_hz_per_s
         lam = SPEED_OF_LIGHT / chirp.center_hz
-        baseline = cfg.rx_baseline_m
+        baseline_m = cfg.rx_baseline_m
         sqrt_ptx = math.sqrt(self.budget.tx_power_w())
 
         if n_rx_antennas < 1:
@@ -306,13 +306,13 @@ class MilBackSimulator:
         for path in self.budget.clutter_paths(chirp.center_hz, pointing) + [
             self.budget.self_interference_path()
         ]:
-            beat = slope * path.delay_s
+            beat = slope_hz_per_s * path.delay_s
             phase0 = 2.0 * math.pi * chirp.start_hz * path.delay_s
             tone_shape = path.amplitude * sqrt_ptx * np.exp(
                 1j * (2.0 * math.pi * beat * t + phase0)
             )
             azimuth = self._path_azimuth(path.label)
-            unit_phase = 2.0 * math.pi * baseline * math.sin(math.radians(azimuth)) / lam
+            unit_phase = 2.0 * math.pi * baseline_m * math.sin(math.radians(azimuth)) / lam
             for m in range(n_rx_antennas):
                 static[m] += tone_shape * np.exp(1j * m * unit_phase)
 
@@ -321,10 +321,10 @@ class MilBackSimulator:
         if toggled_port not in ports:
             raise ConfigurationError(f"toggled_port must be 'both', 'A' or 'B'")
         node_delay = 2.0 * propagation_delay_s(self.budget.node_distance_m())
-        node_beat = slope * node_delay
+        node_beat = slope_hz_per_s * node_delay
         node_phase0 = 2.0 * math.pi * chirp.start_hz * node_delay
         node_rx2_phase = (
-            2.0 * math.pi * baseline * math.sin(math.radians(node_azimuth)) / lam
+            2.0 * math.pi * baseline_m * math.sin(math.radians(node_azimuth)) / lam
         )
         node_tone = np.exp(1j * (2.0 * math.pi * node_beat * t + node_phase0))
         node_shape = np.zeros(n, dtype=np.complex128)
@@ -339,7 +339,7 @@ class MilBackSimulator:
         mirror_amp = sqrt_ptx * steer_factor * 10.0 ** (mirror_db / 20.0)
         mirror_phase = self.rng.uniform(0.0, 2.0 * math.pi)
         mirror_delay = node_delay + 2.0 * self.calibration.mirror_excess_path_m / SPEED_OF_LIGHT
-        mirror_beat = slope * mirror_delay
+        mirror_beat = slope_hz_per_s * mirror_delay
         mirror_tone = np.exp(
             1j * (2.0 * math.pi * mirror_beat * t
                   + 2.0 * math.pi * chirp.start_hz * mirror_delay)
@@ -356,7 +356,7 @@ class MilBackSimulator:
         leak = self.calibration.mirror_modulation_leakage
 
         noise_power = thermal_noise_power_w(
-            fs, self.calibration.ap_noise_figure_db
+            fs_hz, self.calibration.ap_noise_figure_db
         ) + 1e-3 * 10.0 ** (self.calibration.beat_capture_noise_dbm / 10.0)
         # Chirp-to-chirp Doppler rotation of a moving node:
         # phi_k = 4*pi*v*t_k/lambda (intra-chirp drift is negligible at
@@ -375,9 +375,9 @@ class MilBackSimulator:
             # consecutive chirps so clutter cancellation is imperfect.
             tau_j = self.rng.normal(0.0, self.calibration.trigger_jitter_s)
             jitter = np.exp(
-                1j * 2.0 * math.pi * (slope * tau_j * t + chirp.start_hz * tau_j)
+                1j * 2.0 * math.pi * (slope_hz_per_s * tau_j * t + chirp.start_hz * tau_j)
             )
-            residual = self._cancellation_residual(n, fs)
+            residual = self._cancellation_residual(n, fs_hz)
             doppler = np.exp(1j * doppler_step * k)
             for m in range(n_rx_antennas):
                 rx_phase = np.exp(1j * m * node_rx2_phase)
@@ -393,7 +393,7 @@ class MilBackSimulator:
                 records[m].append(
                     Signal(
                         samples + noise,
-                        fs,
+                        fs_hz,
                         0.0,
                         k * cfg.chirp_repetition_interval_s,
                     )
@@ -616,12 +616,12 @@ class MilBackSimulator:
         """Synthesize the node's two ADC captures of preamble Field 1.
 
         Three back-to-back triangular chirps announce uplink; chirp /
-        silent slot / chirp announces downlink. Returns the port-A and
+        silent slot_s / chirp announces downlink. Returns the port-A and
         port-B ADC streams the firmware classifies.
         """
         chirp = self.ap.config.field1_chirp
-        slot = chirp.duration_s
-        n_slot = int(round(slot * sim_rate_hz))
+        slot_s = chirp.duration_s
+        n_slot = int(round(slot_s * sim_rate_hz))
         t = np.arange(n_slot) / sim_rate_hz
         f_inst = chirp.instantaneous_frequency_hz(t)
         sqrt_ptx = math.sqrt(self.budget.tx_power_w())
@@ -671,13 +671,13 @@ class MilBackSimulator:
         from repro.phy.oaqfm import bits_to_symbols, tone_gates
 
         symbols = bits_to_symbols(bits)
-        symbol_rate = bit_rate_bps / 2.0
-        sim_rate = max(64.0 * symbol_rate, 4.0 * max(
+        symbol_rate_bps = bit_rate_bps / 2.0
+        sim_rate = max(64.0 * symbol_rate_bps, 4.0 * max(
             self.node.config.detector_a.video_bandwidth_hz,
             self.node.config.detector_b.video_bandwidth_hz,
         ))
-        samples_per_symbol = int(round(sim_rate / symbol_rate))
-        sim_rate = samples_per_symbol * symbol_rate
+        samples_per_symbol = int(round(sim_rate / symbol_rate_bps))
+        sim_rate = samples_per_symbol * symbol_rate_bps
         gate_a, gate_b = tone_gates(symbols, samples_per_symbol)
         sqrt_tone_power = math.sqrt(self.budget.tx_power_w() / 2.0)
 
@@ -704,7 +704,7 @@ class MilBackSimulator:
         decode = self.node.demodulator.decode(
             detector_out[FsaPort.A],
             detector_out[FsaPort.B],
-            symbol_rate,
+            symbol_rate_bps,
             len(symbols),
         )
         padded_tx = np.concatenate([bits, np.zeros(len(symbols) * 2 - bits.size, np.uint8)])
@@ -809,21 +809,21 @@ class MilBackSimulator:
         pair: TonePair,
         keep_traces: bool,
     ) -> DownlinkResult:
-        """Normal-incidence fallback: one carrier, both ports receive it."""
-        symbol_rate = bit_rate_bps
-        sim_rate_target = max(64.0 * symbol_rate, 160e6)
-        samples_per_symbol = int(round(sim_rate_target / symbol_rate))
-        sim_rate = samples_per_symbol * symbol_rate
-        carrier = 0.5 * (pair.freq_a_hz + pair.freq_b_hz)
+        """Normal-incidence fallback: one carrier_hz, both ports receive it."""
+        symbol_rate_bps = bit_rate_bps
+        sim_rate_target = max(64.0 * symbol_rate_bps, 160e6)
+        samples_per_symbol = int(round(sim_rate_target / symbol_rate_bps))
+        sim_rate = samples_per_symbol * symbol_rate_bps
+        carrier_hz = 0.5 * (pair.freq_a_hz + pair.freq_b_hz)
         gate = np.repeat(bits.astype(float), samples_per_symbol)
         sqrt_ptx = math.sqrt(self.budget.tx_power_w())
         amp_a = sqrt_ptx * 10.0 ** (
-            self.budget.downlink_port_gain_db(FsaPort.A, carrier) / 20.0
+            self.budget.downlink_port_gain_db(FsaPort.A, carrier_hz) / 20.0
         )
         rf = Signal((gate * amp_a).astype(np.complex128), sim_rate, 0.0, 0.0)
         video = self.node.config.detector_a.detect(rf, rng=self.rng)
         rx_bits, sinr = self.node.demodulator.decode_ook(
-            video, symbol_rate, bits.size
+            video, symbol_rate_bps, bits.size
         )
         return DownlinkResult(
             tx_bits=bits,
@@ -867,8 +867,8 @@ class MilBackSimulator:
         gates = self.node.modulator.gates_for_bits(
             tx_stream, bit_rate_bps, sample_rate_hz=16.0 * bit_rate_bps / 2.0
         )
-        symbol_rate = gates.symbol_rate_hz
-        sim_rate = gates.samples_per_symbol * symbol_rate
+        symbol_rate_hz = gates.symbol_rate_hz
+        sim_rate = gates.samples_per_symbol * symbol_rate_hz
         n = gates.gate_a.size
         n_symbols = gates.n_symbols
         sqrt_tone_power = math.sqrt(self.budget.tx_power_w() / 2.0)
@@ -905,7 +905,7 @@ class MilBackSimulator:
         decode = self.ap.uplink_rx.decode(
             branches[FsaPort.A],
             branches[FsaPort.B],
-            symbol_rate,
+            symbol_rate_hz,
             n_symbols,
             n_pilot_symbols=n_pilots,
         )

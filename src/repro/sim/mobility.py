@@ -10,6 +10,7 @@ the paper motivates but could not evaluate on a cabled testbed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -98,10 +99,10 @@ class MobileSessionSimulator:
         if step_s <= 0:
             raise ConfigurationError("step must be positive")
         steps: list[MobileStep] = []
-        t = self.trajectory.start_time_s
-        while t <= self.trajectory.end_time_s + 1e-9:
-            steps.append(self._one_step(t, bit_rate_bps, n_bits))
-            t += step_s
+        t_s = self.trajectory.start_time_s
+        while t_s <= self.trajectory.end_time_s + 1e-9:
+            steps.append(self._one_step(t_s, bit_rate_bps, n_bits))
+            t_s += step_s
         return MobileSessionResult(tuple(steps))
 
     # --- internals -----------------------------------------------------------------
@@ -124,31 +125,31 @@ class MobileSessionSimulator:
         sim = MilBackSimulator(scene, calibration=calibration, seed=self.rng)
         distance_true = scene.node_distance_m()
 
-        distance_est: float | None
+        distance_est_m: float | None
         try:
             fix = sim.simulate_localization()
-            distance_est = fix.distance_est_m
+            distance_est_m = fix.distance_est_m
             # A fix that lands on clutter instead of the node is an outage
             # symptom, not a valid estimate.
             if abs(fix.distance_error_m) > 1.0:
-                distance_est = None
+                distance_est_m = None
         except LocalizationError:
-            distance_est = None
+            distance_est_m = None
 
         bits = self.rng.integers(0, 2, n_bits)
         uplink = sim.simulate_uplink(bits, bit_rate_bps)
-        snr = uplink.snr_db
-        snr_valid = snr == snr  # not NaN
+        snr_db = uplink.snr_db
+        snr_valid = not math.isnan(snr_db)
         in_outage = (
-            distance_est is None
+            distance_est_m is None
             or not snr_valid
-            or snr < self.outage_snr_db
+            or snr_db < self.outage_snr_db
         )
         return MobileStep(
             time_s=t,
             distance_true_m=distance_true,
-            distance_est_m=distance_est,
-            uplink_snr_db=float(snr) if snr_valid else None,
+            distance_est_m=distance_est_m,
+            uplink_snr_db=float(snr_db) if snr_valid else None,
             uplink_ber=uplink.ber,
             blockage_loss_db=loss,
             in_outage=in_outage,

@@ -45,7 +45,8 @@ class ConcurrentNodeResult:
 
     @property
     def delivered_error_free(self) -> bool:
-        return self.ber == 0.0
+        # BER is bit_errors/n: exactly 0.0 iff the error count is zero.
+        return self.ber == 0.0  # milback: disable=ML003
 
 
 class MultiNodeUplink:
@@ -126,9 +127,9 @@ class MultiNodeUplink:
             raise ConfigurationError("no payloads to send")
         for node_id in payloads:
             self.scene.node(node_id)  # validates existence
-        symbol_rate = bit_rate_bps / 2.0
+        symbol_rate_bps = bit_rate_bps / 2.0
         samples_per_symbol = 16
-        sim_rate = samples_per_symbol * symbol_rate
+        sim_rate = samples_per_symbol * symbol_rate_bps
         eps = 10.0 ** (-self.calibration.uplink_sinr_cap_db / 20.0)
         noise_power = thermal_noise_power_w(
             sim_rate, self.calibration.ap_noise_figure_db
@@ -154,7 +155,7 @@ class MultiNodeUplink:
             results[node_id] = self._decode_one(
                 node_id,
                 streams,
-                symbol_rate,
+                symbol_rate_bps,
                 sim_rate,
                 n_symbols,
                 sqrt_tone_power,
@@ -321,13 +322,13 @@ class MultiNodeDownlink:
 
         if not payloads:
             raise ConfigurationError("no payloads to send")
-        symbol_rate = bit_rate_bps / 2.0
-        sim_rate_target = max(64.0 * symbol_rate, 4.0 * max(
+        symbol_rate_bps = bit_rate_bps / 2.0
+        sim_rate_target = max(64.0 * symbol_rate_bps, 4.0 * max(
             self.node.config.detector_a.video_bandwidth_hz,
             self.node.config.detector_b.video_bandwidth_hz,
         ))
-        samples_per_symbol = int(round(sim_rate_target / symbol_rate))
-        sim_rate = samples_per_symbol * symbol_rate
+        samples_per_symbol = int(round(sim_rate_target / symbol_rate_bps))
+        sim_rate = samples_per_symbol * symbol_rate_bps
         sqrt_tone_power = math.sqrt(
             self.budgets[next(iter(payloads))].tx_power_w() / 2.0
         )
@@ -385,7 +386,7 @@ class MultiNodeDownlink:
             decode = self.node.demodulator.decode(
                 detector_out[_Port.A],
                 detector_out[_Port.B],
-                symbol_rate,
+                symbol_rate_bps,
                 len(symbols),
             )
             tx_bits = np.asarray(list(bits), dtype=np.uint8)

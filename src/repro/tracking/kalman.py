@@ -93,18 +93,18 @@ class ConstantVelocityTracker:
             self._last_time_s = time_s
             return self._as_track_state()
 
-        dt = time_s - self._last_time_s
-        if dt < 0:
+        dt_s = time_s - self._last_time_s
+        if dt_s < 0:
             raise ConfigurationError("updates must move forward in time")
         self._last_time_s = time_s
 
         # Predict.
         f = np.eye(4)
-        f[0, 2] = f[1, 3] = dt
+        f[0, 2] = f[1, 3] = dt_s
         a = self.process_accel_mps2
-        q_pos = 0.25 * dt**4 * a**2
-        q_cross = 0.5 * dt**3 * a**2
-        q_vel = dt**2 * a**2
+        q_pos = 0.25 * dt_s**4 * a**2
+        q_cross = 0.5 * dt_s**3 * a**2
+        q_vel = dt_s**2 * a**2
         q = np.array(
             [
                 [q_pos, 0, q_cross, 0],
@@ -130,10 +130,10 @@ class ConstantVelocityTracker:
         """Dead-reckoned position at a future time (no covariance change)."""
         if self._state is None:
             raise ConfigurationError("tracker has no state yet")
-        dt = time_s - self._last_time_s
+        dt_s = time_s - self._last_time_s
         return (
-            float(self._state[0] + dt * self._state[2]),
-            float(self._state[1] + dt * self._state[3]),
+            float(self._state[0] + dt_s * self._state[2]),
+            float(self._state[1] + dt_s * self._state[3]),
         )
 
     def _as_track_state(self) -> TrackState:

@@ -12,6 +12,8 @@ from typing import Union
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 __all__ = ["make_rng", "spawn_rngs"]
 
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
@@ -36,7 +38,7 @@ def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
     parallelizing trials never changes any individual trial's draws.
     """
     if count < 0:
-        raise ValueError("count must be non-negative")
+        raise ConfigurationError("count must be non-negative")
     if isinstance(seed, np.random.Generator):
         # Derive children from the generator's own bit stream.
         seeds = seed.integers(0, 2**63 - 1, size=count)

@@ -13,6 +13,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 __all__ = [
     "RunningStats",
     "empirical_cdf",
@@ -77,14 +79,14 @@ class RunningStats:
     def minimum(self) -> float:
         """Smallest observation."""
         if not self._count:
-            raise ValueError("no observations")
+            raise ConfigurationError("no observations")
         return self._min
 
     @property
     def maximum(self) -> float:
         """Largest observation."""
         if not self._count:
-            raise ValueError("no observations")
+            raise ConfigurationError("no observations")
         return self._max
 
 
@@ -96,7 +98,7 @@ def empirical_cdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
     """
     values = np.sort(np.asarray(values, dtype=float))
     if values.size == 0:
-        raise ValueError("empirical_cdf of empty sequence")
+        raise ConfigurationError("empirical_cdf of empty sequence")
     probs = np.arange(1, values.size + 1) / values.size
     return values, probs
 
@@ -104,7 +106,7 @@ def empirical_cdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
 def percentile(values: Sequence[float], q: float) -> float:
     """The q-th percentile (0..100) using linear interpolation."""
     if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile q={q} outside [0, 100]")
+        raise ConfigurationError(f"percentile q={q} outside [0, 100]")
     return float(np.percentile(np.asarray(values, dtype=float), q))
 
 
@@ -136,7 +138,7 @@ def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
     (mean, spread, 90th percentile)."""
     arr = np.abs(np.asarray(errors, dtype=float))
     if arr.size == 0:
-        raise ValueError("cannot summarize an empty error sequence")
+        raise ConfigurationError("cannot summarize an empty error sequence")
     return ErrorSummary(
         count=int(arr.size),
         mean=float(arr.mean()),

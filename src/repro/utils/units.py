@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
 
 __all__ = [
     "db_to_linear",
@@ -71,7 +72,7 @@ def wavelength(frequency_hz):
     """Free-space wavelength [m] for a frequency [Hz]."""
     frequency_hz = np.asarray(frequency_hz, dtype=float)
     if np.any(frequency_hz <= 0):
-        raise ValueError("frequency must be positive")
+        raise ConfigurationError("frequency must be positive")
     return SPEED_OF_LIGHT / frequency_hz
 
 
@@ -79,5 +80,5 @@ def frequency_from_wavelength(wavelength_m):
     """Frequency [Hz] for a free-space wavelength [m]."""
     wavelength_m = np.asarray(wavelength_m, dtype=float)
     if np.any(wavelength_m <= 0):
-        raise ValueError("wavelength must be positive")
+        raise ConfigurationError("wavelength must be positive")
     return SPEED_OF_LIGHT / wavelength_m

@@ -1,0 +1,459 @@
+"""Tests for the repro.lint static-analysis subsystem.
+
+Each rule gets a violating fixture (must fire) and a compliant fixture
+(must stay silent), plus suppression coverage; the engine and CLI get
+behavioural tests of their own.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.errors import StaticAnalysisError
+from repro.lint import Severity, all_rules, get_rule, lint_source
+from repro.lint.cli import main as lint_main
+from repro.lint.units import infer_unit, unit_of_name
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+
+def findings_for(source, path="pkg/module.py", **kwargs):
+    return lint_source(textwrap.dedent(source), path, **kwargs)
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestEngine:
+    def test_all_rules_registered(self):
+        ids = [cls.rule_id for cls in all_rules()]
+        assert ids == ["ML001", "ML002", "ML003", "ML004", "ML005", "ML006"]
+
+    def test_get_rule_unknown_id_raises(self):
+        with pytest.raises(StaticAnalysisError):
+            get_rule("ML999")
+
+    def test_select_restricts_rules(self):
+        source = """\
+        import numpy as np
+        x = np.random.rand(3)
+        """
+        only_006 = findings_for(source, select=["ML006"])
+        assert rule_ids(only_006) == ["ML006"]  # no __all__; ML001 not run
+
+    def test_ignore_removes_rule(self):
+        source = """\
+        __all__ = []
+        import numpy as np
+        x = np.random.rand(3)
+        """
+        assert rule_ids(findings_for(source, ignore=["ML001"])) == []
+
+    def test_syntax_error_reported_as_ml000(self):
+        findings = lint_source("def broken(:\n", "bad.py")
+        assert rule_ids(findings) == ["ML000"]
+
+    def test_findings_carry_location_and_severity(self):
+        source = """\
+        __all__ = []
+        import numpy as np
+        x = np.random.rand(3)
+        """
+        (finding,) = findings_for(source)
+        assert finding.line == 3
+        assert finding.severity is Severity.ERROR
+        assert "module.py:3:" in finding.render()
+
+
+class TestSuppression:
+    def test_line_suppression_mutes_one_rule(self):
+        source = """\
+        __all__ = []
+        import numpy as np
+        x = np.random.rand(3)  # milback: disable=ML001 — fixture needs it
+        """
+        assert findings_for(source) == []
+
+    def test_line_suppression_is_line_scoped(self):
+        source = """\
+        __all__ = []
+        import numpy as np
+        x = np.random.rand(3)  # milback: disable=ML001
+        y = np.random.rand(3)
+        """
+        findings = findings_for(source)
+        assert rule_ids(findings) == ["ML001"]
+        assert findings[0].line == 4
+
+    def test_line_suppression_wrong_rule_does_not_mute(self):
+        source = """\
+        __all__ = []
+        import numpy as np
+        x = np.random.rand(3)  # milback: disable=ML003
+        """
+        assert rule_ids(findings_for(source)) == ["ML001"]
+
+    def test_file_suppression_mutes_everywhere(self):
+        source = """\
+        # milback: disable-file=ML001
+        __all__ = []
+        import numpy as np
+        x = np.random.rand(3)
+        y = np.random.rand(3)
+        """
+        assert findings_for(source) == []
+
+    def test_pragma_inside_string_is_ignored(self):
+        source = '''\
+        __all__ = []
+        import numpy as np
+        note = "# milback: disable=ML001"
+        x = np.random.rand(3)
+        '''
+        assert rule_ids(findings_for(source)) == ["ML001"]
+
+
+class TestML001LegacyRandom:
+    def test_fires_on_legacy_call(self):
+        source = """\
+        __all__ = []
+        import numpy as np
+        x = np.random.randn(4)
+        """
+        assert rule_ids(findings_for(source)) == ["ML001"]
+
+    def test_fires_on_full_numpy_name(self):
+        source = """\
+        __all__ = []
+        import numpy
+        x = numpy.random.uniform(0, 1)
+        """
+        assert rule_ids(findings_for(source)) == ["ML001"]
+
+    def test_fires_on_legacy_import_from(self):
+        source = """\
+        __all__ = []
+        from numpy.random import rand
+        """
+        assert rule_ids(findings_for(source)) == ["ML001"]
+
+    def test_silent_on_default_rng(self):
+        source = """\
+        __all__ = []
+        import numpy as np
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=4)
+        seq = np.random.SeedSequence(3)
+        """
+        assert findings_for(source) == []
+
+    def test_silent_on_generator_methods(self):
+        source = """\
+        __all__ = []
+        def draw(rng):
+            return rng.uniform(-1.0, 1.0)
+        """
+        assert rule_ids(findings_for(source)) == ["ML006"]  # only missing-def listing
+
+
+class TestML002UnitSuffix:
+    def test_fires_on_unit_alias(self):
+        source = """\
+        __all__ = []
+        BAND_HZ = 28e9
+
+
+        def f():
+            frequency = BAND_HZ
+            return frequency
+        """
+        findings = findings_for(source, select=["ML002"])
+        assert rule_ids(findings) == ["ML002"]
+        assert "frequency_hz" in findings[0].message
+
+    def test_fires_on_scaled_unit(self):
+        source = """\
+        __all__ = []
+        def f(start_hz, stop_hz):
+            center = 0.5 * (start_hz + stop_hz)
+            return center
+        """
+        assert rule_ids(findings_for(source, select=["ML002"])) == ["ML002"]
+
+    def test_silent_when_suffix_present(self):
+        source = """\
+        __all__ = []
+        def f(start_hz, stop_hz):
+            center_hz = 0.5 * (start_hz + stop_hz)
+            span_ghz = (stop_hz - start_hz) / 1e9
+            return center_hz, span_ghz
+        """
+        assert findings_for(source, select=["ML002"]) == []
+
+    def test_silent_on_dimensionless_ratio(self):
+        source = """\
+        __all__ = []
+        def f(f1_hz, f2_hz):
+            ratio = f1_hz / f2_hz
+            return ratio
+        """
+        assert findings_for(source, select=["ML002"]) == []
+
+    def test_silent_on_underscore_target(self):
+        source = """\
+        __all__ = []
+        def f(t_s):
+            _ = t_s
+        """
+        assert findings_for(source, select=["ML002"]) == []
+
+    def test_unit_inference_helpers(self):
+        assert unit_of_name("BAND_WIDTH_HZ") == "hz"
+        assert unit_of_name("noise_v_per_rt_hz") == "v_per_rt_hz"
+        assert unit_of_name("alarm") is None
+        import ast
+
+        assert infer_unit(ast.parse("x_m + y_m", mode="eval").body) == "m"
+        assert infer_unit(ast.parse("x_m + y_s", mode="eval").body) is None
+        assert infer_unit(ast.parse("x_m / y_m", mode="eval").body) is None
+
+
+class TestML003FloatEquality:
+    def test_fires_on_float_literal_compare(self):
+        source = """\
+        __all__ = []
+        def f(ber):
+            return ber == 0.0
+        """
+        assert rule_ids(findings_for(source, select=["ML003"])) == ["ML003"]
+
+    def test_fires_on_unit_name_compare(self):
+        source = """\
+        __all__ = []
+        def f(a_hz, b_hz):
+            return a_hz != b_hz
+        """
+        assert rule_ids(findings_for(source, select=["ML003"])) == ["ML003"]
+
+    def test_silent_on_int_compare(self):
+        source = """\
+        __all__ = []
+        def f(count):
+            return count == 0
+        """
+        assert findings_for(source, select=["ML003"]) == []
+
+    def test_silent_on_isclose(self):
+        source = """\
+        __all__ = []
+        import numpy as np
+        def f(a_hz, b_hz):
+            return np.isclose(a_hz, b_hz)
+        """
+        assert findings_for(source, select=["ML003"]) == []
+
+    def test_silent_on_ordering_compare(self):
+        source = """\
+        __all__ = []
+        def f(snr_db, floor_db):
+            return snr_db < floor_db
+        """
+        assert findings_for(source, select=["ML003"]) == []
+
+
+class TestML004ErrorHierarchy:
+    def test_fires_on_builtin_raise(self):
+        source = """\
+        __all__ = []
+        def f(x):
+            if x < 0:
+                raise ValueError("negative")
+        """
+        assert rule_ids(findings_for(source, select=["ML004"])) == ["ML004"]
+
+    def test_fires_on_bare_except_and_broad_except(self):
+        source = """\
+        __all__ = []
+        def f():
+            try:
+                pass
+            except Exception:
+                pass
+            try:
+                pass
+            except:
+                pass
+        """
+        assert rule_ids(findings_for(source, select=["ML004"])) == ["ML004", "ML004"]
+
+    def test_fires_on_broad_member_of_tuple(self):
+        source = """\
+        __all__ = []
+        def f():
+            try:
+                pass
+            except (KeyError, Exception):
+                pass
+        """
+        assert rule_ids(findings_for(source, select=["ML004"])) == ["ML004"]
+
+    def test_silent_on_domain_error_and_reraise(self):
+        source = """\
+        __all__ = []
+        from repro.errors import ConfigurationError
+
+
+        def f(x):
+            try:
+                if x < 0:
+                    raise ConfigurationError("negative")
+            except ConfigurationError:
+                raise
+        """
+        assert findings_for(source, select=["ML004"]) == []
+
+    def test_silent_on_not_implemented_error(self):
+        source = """\
+        __all__ = []
+        class Base:
+            def hook(self):
+                raise NotImplementedError
+        """
+        assert findings_for(source, select=["ML004", "ML006"]) == [] or rule_ids(
+            findings_for(source, select=["ML004"])
+        ) == []
+
+
+class TestML005MutableDefaults:
+    def test_fires_on_list_literal_default(self):
+        source = """\
+        __all__ = []
+        def f(acc=[]):
+            return acc
+        """
+        assert rule_ids(findings_for(source, select=["ML005"])) == ["ML005"]
+
+    def test_fires_on_dict_call_and_kwonly_default(self):
+        source = """\
+        __all__ = []
+        def f(*, cache=dict()):
+            return cache
+        """
+        assert rule_ids(findings_for(source, select=["ML005"])) == ["ML005"]
+
+    def test_silent_on_none_and_tuple_defaults(self):
+        source = """\
+        __all__ = []
+        def f(acc=None, shape=(3, 4), name="x"):
+            return acc, shape, name
+        """
+        assert findings_for(source, select=["ML005"]) == []
+
+
+class TestML006DunderAll:
+    def test_fires_when_missing(self):
+        findings = findings_for("def f():\n    return 1\n", select=["ML006"])
+        assert rule_ids(findings) == ["ML006"]
+        assert "__all__" in findings[0].message
+
+    def test_fires_on_unlisted_public_def(self):
+        source = """\
+        __all__ = ["f"]
+        def f():
+            return 1
+        def g():
+            return 2
+        """
+        findings = findings_for(source, select=["ML006"])
+        assert rule_ids(findings) == ["ML006"]
+        assert "'g'" in findings[0].message
+
+    def test_fires_on_phantom_export(self):
+        source = """\
+        __all__ = ["ghost"]
+        """
+        findings = findings_for(source, select=["ML006"])
+        assert "ghost" in findings[0].message
+
+    def test_silent_on_accurate_all(self):
+        source = """\
+        __all__ = ["f", "CONSTANT"]
+        CONSTANT = 3
+
+
+        def f():
+            return CONSTANT
+
+
+        def _private():
+            return 0
+        """
+        assert findings_for(source, select=["ML006"]) == []
+
+    def test_private_modules_exempt(self):
+        source = "def f():\n    return 1\n"
+        assert findings_for(source, path="pkg/_internal.py", select=["ML006"]) == []
+        assert findings_for(source, path="pkg/__main__.py", select=["ML006"]) == []
+        assert rule_ids(
+            findings_for(source, path="pkg/__init__.py", select=["ML006"])
+        ) == ["ML006"]
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text('__all__ = ["f"]\n\n\ndef f():\n    return 1\n')
+        assert lint_main([str(target)]) == 0
+        assert "All checks passed" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_text(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        assert lint_main([str(target), "--select", "ML001"]) == 1
+        out = capsys.readouterr().out
+        assert "ML001" in out and "Found 1 finding(s)" in out
+
+    def test_json_output_schema(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        assert lint_main([str(target), "--select", "ML001", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["total"] == 1
+        assert payload["summary"]["by_rule"] == {"ML001": 1}
+        assert payload["findings"][0]["rule"] == "ML001"
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("__all__ = []\n")
+        assert lint_main([str(target), "--select", "ML777"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_cls in all_rules():
+            assert rule_cls.rule_id in out
+
+    def test_module_entry_point(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(target), "--select", "ML001"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC_ROOT), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "ML001" in proc.stdout
+
+
+class TestRepositoryIsClean:
+    def test_src_tree_has_no_findings(self):
+        from repro.lint import lint_paths
+
+        findings = lint_paths([str(SRC_ROOT)])
+        assert findings == [], "\n".join(f.render() for f in findings)
