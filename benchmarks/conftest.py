@@ -4,4 +4,75 @@ Each benchmark regenerates one paper table/figure and prints the
 reproduced rows (run with ``-s`` to see them inline); the
 pytest-benchmark timing table then shows the cost of regenerating each
 result.
+
+Every benchmark's timing additionally flows through the
+:mod:`repro.obs` metrics registry (histogram ``bench.wall_s`` labelled
+by test), and the session writes ``BENCH_obs.json`` next to the repo
+root — the machine-readable perf trajectory that future optimisation
+PRs diff against. Schema: ``{"version", "generator", "benchmarks":
+{nodeid: {"wall_s", "outcome", ["mean_s", "rounds"]}}, "metrics"}``,
+where ``metrics`` is the full registry snapshot (so engine/protocol
+counters from the benchmarked code land in the same artifact).
 """
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+
+#: Collected per-test entries for BENCH_obs.json, keyed by pytest nodeid.
+_RESULTS: dict[str, dict[str, object]] = {}
+
+BENCH_OBS_FILENAME = "BENCH_obs.json"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    start_s = time.perf_counter()
+    outcome = yield
+    wall_s = time.perf_counter() - start_s
+    obs.histogram("bench.wall_s", test=item.name).observe(wall_s)
+    obs.counter("bench.tests.run").inc()
+    entry: dict[str, object] = {
+        "wall_s": wall_s,
+        "outcome": "error" if outcome.excinfo is not None else "ok",
+    }
+    if outcome.excinfo is not None:
+        obs.counter("bench.tests.failed").inc()
+    # When the pytest-benchmark fixture ran, lift its calibrated stats —
+    # they time just the benchmarked callable, not fixture setup.
+    benchmark = getattr(item, "funcargs", {}).get("benchmark")
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is not None:
+        entry["mean_s"] = float(stats.mean)
+        entry["rounds"] = int(getattr(stats, "rounds", 0) or len(stats.data))
+    _RESULTS[item.nodeid] = entry
+
+
+def _bench_obs_path(session: pytest.Session) -> Path:
+    return Path(str(session.config.rootpath)) / BENCH_OBS_FILENAME
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    document = {
+        "version": 1,
+        "generator": "repro.obs benchmark harness",
+        "benchmarks": dict(sorted(_RESULTS.items())),
+        "metrics": obs.get_registry().snapshot(),
+    }
+    _bench_obs_path(session).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def pytest_terminal_summary(terminalreporter):
+    if _RESULTS:
+        path = _bench_obs_path(terminalreporter._session)
+        terminalreporter.write_line(f"obs: per-benchmark timings written to {path}")

@@ -13,6 +13,7 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.stats import ErrorSummary, summarize_errors
@@ -73,9 +74,12 @@ def run_sweep(
     rngs = spawn_rngs(seed, len(parameters) * n_trials)
     points = []
     for i, parameter in enumerate(parameters):
-        values = tuple(
-            float(trial(parameter, rngs[i * n_trials + j])) for j in range(n_trials)
-        )
+        with obs.span("sweep.point", parameter=float(parameter), trials=n_trials):
+            obs.counter("sweep.points").inc()
+            obs.counter("sweep.trials").inc(n_trials)
+            values = tuple(
+                float(trial(parameter, rngs[i * n_trials + j])) for j in range(n_trials)
+            )
         points.append(SweepPoint(float(parameter), values))
     return points
 

@@ -4,6 +4,11 @@
     python -m repro run fig12         # one experiment, full trial counts
     python -m repro run all           # the whole evaluation section
     python -m repro run fig13 --trials 5   # quick look
+
+Every ``run`` is instrumented through :mod:`repro.obs`: add ``--trace``
+and/or ``--metrics-out`` to dump a JSONL span trace and a metrics
+snapshot of the invocation, or ``--obs-summary`` for a human-readable
+roll-up after the experiment output.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ import argparse
 import sys
 from typing import Callable
 
+from repro import obs
 from repro.experiments import (
     ablations,
     coverage_map,
@@ -86,7 +92,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the per-point trial count (where applicable)",
     )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL span/event trace of this run to PATH",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a metrics.json snapshot of this run to PATH",
+    )
+    run.add_argument(
+        "--obs-summary",
+        action="store_true",
+        help="print a metrics/span roll-up after the experiment output",
+    )
     return parser
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    """Execute the selected experiment(s); returns an exit code."""
+    if args.experiment == "all":
+        for name, (_, runner) in EXPERIMENTS.items():
+            print(f"\n### {name} " + "#" * max(60 - len(name), 0))  # milback: disable=ML007 — CLI output
+            print(runner(trials=args.trials))  # milback: disable=ML007 — CLI output
+        return 0
+    _, runner = EXPERIMENTS[args.experiment]
+    print(runner(trials=args.trials))  # milback: disable=ML007 — CLI output
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -95,21 +130,31 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, (description, _) in EXPERIMENTS.items():
-            print(f"{name.ljust(width)}  {description}")
+            print(f"{name.ljust(width)}  {description}")  # milback: disable=ML007 — CLI output
         return 0
     # run
-    if args.experiment == "all":
-        for name, (_, runner) in EXPERIMENTS.items():
-            print(f"\n### {name} " + "#" * max(60 - len(name), 0))
-            print(runner(trials=args.trials))
-        return 0
-    if args.experiment not in EXPERIMENTS:
-        print(
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+        print(  # milback: disable=ML007 — CLI output
             f"unknown experiment {args.experiment!r}; "
             f"choose from {', '.join(EXPERIMENTS)} or 'all'",
             file=sys.stderr,
         )
         return 2
-    _, runner = EXPERIMENTS[args.experiment]
-    print(runner(trials=args.trials))
-    return 0
+    # One invocation = one observation window: artifacts must describe
+    # exactly this run, so clear anything import-time code recorded.
+    obs.reset()
+    try:
+        with obs.span("cli.run", experiment=args.experiment):
+            obs.counter("cli.runs").inc()
+            status = _run_experiments(args)
+    finally:
+        # Artifacts are written even when an experiment raises — a
+        # partial trace of a crashed sweep is exactly what you debug with.
+        if args.trace is not None:
+            obs.write_trace_jsonl(args.trace, obs.get_tracer())
+        if args.metrics_out is not None:
+            obs.write_metrics_json(args.metrics_out, obs.get_registry())
+    if args.obs_summary:
+        print()  # milback: disable=ML007 — CLI output
+        print(obs.render_text_summary(obs.get_registry(), obs.get_tracer()))  # milback: disable=ML007 — CLI output
+    return status

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.report import render_table
 from repro.antennas.fsa import FsaDesign
 from repro.channel.scene import Scene2D
@@ -231,6 +232,7 @@ def run_peak_refinement_ablation(
     return rows
 
 
+@obs.traced("experiment.ablations", count="experiment.runs", experiment="ablations")
 def main() -> str:
     """Run and render every ablation."""
     sections = []
@@ -287,7 +289,7 @@ def main() -> str:
 
 
 if __name__ == "__main__":
-    print(main())
+    print(main())  # milback: disable=ML007 — script entry point
 
 
 def run_chirp_bandwidth_ablation(

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.report import render_table
 from repro.channel.multipath import default_indoor_clutter
 from repro.channel.scene import NodePlacement, Scene2D
@@ -135,6 +136,7 @@ def run_coverage_map(
     return CoverageMap(x, y, delivery)
 
 
+@obs.traced("experiment.coverage", count="experiment.runs", experiment="coverage")
 def main(n_trials: int = 3) -> str:
     """Run and render the coverage study."""
     coverage = run_coverage_map(n_trials=n_trials)
@@ -151,4 +153,4 @@ def main(n_trials: int = 3) -> str:
 
 
 if __name__ == "__main__":
-    print(main())
+    print(main())  # milback: disable=ML007 — script entry point

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.antennas.dual_port_fsa import DualPortFsa
 from repro.analysis.report import render_table
 
@@ -83,6 +84,7 @@ def rows(result: BeamPatternResult) -> list[dict[str, object]]:
     return out
 
 
+@obs.traced("experiment.fig10", count="experiment.runs", experiment="fig10")
 def main() -> str:
     """Run and render the Figure-10 reproduction."""
     result = run_fig10()
@@ -96,4 +98,4 @@ def main() -> str:
 
 
 if __name__ == "__main__":
-    print(main())
+    print(main())  # milback: disable=ML007 — script entry point

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.channel.scene import Scene2D
 from repro.dsp.signal import Signal
 from repro.sim.engine import MilBackSimulator
@@ -91,6 +92,7 @@ def run_fig11(
     )
 
 
+@obs.traced("experiment.fig11", count="experiment.runs", experiment="fig11")
 def main() -> str:
     """Run and render the Figure-11 reproduction."""
     bench = run_fig11()
@@ -107,4 +109,4 @@ def main() -> str:
 
 
 if __name__ == "__main__":
-    print(main())
+    print(main())  # milback: disable=ML007 — script entry point

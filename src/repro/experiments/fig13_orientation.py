@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.report import render_table
 from repro.analysis.sweeps import SweepPoint, run_error_sweep
 from repro.antennas.fsa import FsaPort
@@ -128,6 +129,7 @@ def figure_rows(figure: OrientationFigure) -> list[dict[str, object]]:
     return rows
 
 
+@obs.traced("experiment.fig13", count="experiment.runs", experiment="fig13")
 def main(n_trials: int = 25) -> str:
     """Run and render the Figure-13 reproduction."""
     figure = run_fig13(n_trials=n_trials)
@@ -145,4 +147,4 @@ def main(n_trials: int = 25) -> str:
 
 
 if __name__ == "__main__":
-    print(main())
+    print(main())  # milback: disable=ML007 — script entry point

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.report import render_table
 from repro.errors import ConfigurationError
 from repro.analysis.sweeps import SweepPoint, run_sweep
@@ -78,6 +79,7 @@ def figure_rows(figure: DownlinkFigure) -> list[dict[str, object]]:
     return rows
 
 
+@obs.traced("experiment.fig14", count="experiment.runs", experiment="fig14")
 def main(n_trials: int = 10) -> str:
     """Run and render the Figure-14 reproduction."""
     figure = run_fig14(n_trials=n_trials)
@@ -101,4 +103,4 @@ def main(n_trials: int = 10) -> str:
 
 
 if __name__ == "__main__":
-    print(main())
+    print(main())  # milback: disable=ML007 — script entry point

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.report import render_table
 from repro.analysis.sweeps import SweepPoint, run_sweep
 from repro.channel.scene import Scene2D
@@ -101,6 +102,7 @@ def figure_rows(figure: UplinkFigure) -> list[dict[str, object]]:
     return rows
 
 
+@obs.traced("experiment.fig15", count="experiment.runs", experiment="fig15")
 def main(n_trials: int = 10) -> str:
     """Run and render the Figure-15 reproduction."""
     figure = run_fig15(n_trials=n_trials)
@@ -130,4 +132,4 @@ def main(n_trials: int = 10) -> str:
 
 
 if __name__ == "__main__":
-    print(main())
+    print(main())  # milback: disable=ML007 — script entry point

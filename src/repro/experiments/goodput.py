@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.analysis.report import render_table
 from repro.channel.scene import Scene2D
 from repro.errors import ProtocolError
@@ -85,6 +86,7 @@ def run_range_sweep(
     return rows
 
 
+@obs.traced("experiment.goodput", count="experiment.runs", experiment="goodput")
 def main() -> str:
     """Run and render the goodput study."""
     payload_table = render_table(
@@ -99,4 +101,4 @@ def main() -> str:
 
 
 if __name__ == "__main__":
-    print(main())
+    print(main())  # milback: disable=ML007 — script entry point

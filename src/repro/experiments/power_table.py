@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.analysis.report import render_table
 from repro.constants import MAX_DOWNLINK_RATE_BPS, MMTAG_ENERGY_PER_BIT_J
 from repro.hardware.power import NodeMode
@@ -96,6 +97,7 @@ def report_rows(report: PowerReport) -> list[dict[str, object]]:
     ]
 
 
+@obs.traced("experiment.power", count="experiment.runs", experiment="power")
 def main() -> str:
     """Run and render the §9.6 power reproduction."""
     report = run_power_table()
@@ -103,4 +105,4 @@ def main() -> str:
 
 
 if __name__ == "__main__":
-    print(main())
+    print(main())  # milback: disable=ML007 — script entry point

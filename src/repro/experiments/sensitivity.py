@@ -19,6 +19,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.report import render_table
 from repro.channel.scene import Scene2D
 from repro.sim.calibration import Calibration, default_calibration
@@ -95,6 +96,7 @@ def run_sensitivity(seed: int = 202) -> list[dict]:
     return rows
 
 
+@obs.traced("experiment.sensitivity", count="experiment.runs", experiment="sensitivity")
 def main() -> str:
     """Run and render the sensitivity table."""
     rows = run_sensitivity()
@@ -105,4 +107,4 @@ def main() -> str:
 
 
 if __name__ == "__main__":
-    print(main())
+    print(main())  # milback: disable=ML007 — script entry point

@@ -7,6 +7,7 @@ MilBack row is demonstrated by running the capability in simulation.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.analysis.report import render_table
 from repro.baselines.comparison import capability_table, energy_comparison
 
@@ -18,6 +19,7 @@ def run_table1() -> list[dict[str, str]]:
     return capability_table()
 
 
+@obs.traced("experiment.table1", count="experiment.runs", experiment="table1")
 def main() -> str:
     """Run and render the Table-1 reproduction plus the §9.6 energy
     comparison."""
@@ -33,4 +35,4 @@ def main() -> str:
 
 
 if __name__ == "__main__":
-    print(main())
+    print(main())  # milback: disable=ML007 — script entry point

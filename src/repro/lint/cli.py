@@ -3,6 +3,7 @@
 Exit status: 0 when no findings, 1 when any finding is reported, 2 on
 usage errors (unknown rule id, missing path).
 """
+# milback: disable-file=ML007 — this module IS the CLI; stdout/stderr are its interface
 
 from __future__ import annotations
 

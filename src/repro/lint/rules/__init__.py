@@ -13,6 +13,7 @@ from repro.lint.rules.ml003_float_eq import FloatEqualityRule
 from repro.lint.rules.ml004_errors import ErrorHierarchyRule
 from repro.lint.rules.ml005_mutable_defaults import MutableDefaultRule
 from repro.lint.rules.ml006_all import DunderAllRule
+from repro.lint.rules.ml007_print import BarePrintRule
 
 __all__ = [
     "LegacyNumpyRandomRule",
@@ -21,4 +22,5 @@ __all__ = [
     "ErrorHierarchyRule",
     "MutableDefaultRule",
     "DunderAllRule",
+    "BarePrintRule",
 ]

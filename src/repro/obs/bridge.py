@@ -1,0 +1,50 @@
+"""Bridge the protocol's simulated-time ``EventLog`` into the trace.
+
+The link layer logs protocol events on a *simulated* clock (air time of
+each phase); the tracer records *wall* time. Attaching a log to the
+tracer forwards every :meth:`~repro.protocol.events.EventLog.record`
+call as a :class:`~repro.obs.tracing.TraceEvent` named
+``protocol.<kind>`` that carries both clocks plus the log's ordering
+index — so a JSONL trace shows, e.g., the ``field2`` event inside the
+wall-time span of the engine burst that produced it, and interleaved
+logs still sort stably.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs import runtime
+from repro.obs.tracing import Tracer
+
+if TYPE_CHECKING:  # import only for annotations: keep obs physics-free
+    from repro.protocol.events import Event, EventLog
+
+__all__ = ["attach_event_log", "EVENT_NAME_PREFIX"]
+
+#: Bridged events are namespaced under this span-style prefix.
+EVENT_NAME_PREFIX = "protocol"
+
+
+def attach_event_log(log: "EventLog", tracer: Tracer | None = None) -> None:
+    """Forward every future ``log.record()`` to ``tracer`` (default: global).
+
+    Idempotent in effect: attaching again just replaces the sink.
+    Counters ``protocol.events.bridged`` (and per-kind labels) land in
+    the registry backing the tracer's span metrics.
+    """
+    target = tracer if tracer is not None else runtime.get_tracer()
+
+    def sink(event: "Event") -> None:
+        runtime.counter("protocol.events.bridged").inc()
+        # The tracer assigns the trace-wide ordering index (arrival order);
+        # the log's own index rides along so one session's events can be
+        # re-sorted even when several bridged logs interleave.
+        target.add_event(
+            f"{EVENT_NAME_PREFIX}.{event.kind}",
+            sim_time_s=event.time_s,
+            log_index=event.index,
+            **event.detail,
+        )
+
+    log.attach_sink(sink)

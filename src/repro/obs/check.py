@@ -1,0 +1,174 @@
+"""Artifact validator: ``python -m repro.obs.check trace.jsonl metrics.json``.
+
+CI's smoke job runs one fast experiment with ``--trace``/``--metrics-out``
+and then calls this module to fail the build when either artifact is
+missing, unparsable, or structurally wrong. The same checks back the
+test suite, so "what CI enforces" and "what tests assert" cannot drift.
+
+Exit status: 0 when every given artifact validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+__all__ = [
+    "check_trace_jsonl",
+    "check_metrics_json",
+    "build_parser",
+    "main",
+]
+
+#: Keys every span line in a trace must carry.
+_SPAN_KEYS = frozenset({"name", "span_id", "parent_id", "depth", "start_s", "duration_s"})
+#: Keys every event line in a trace must carry.
+_EVENT_KEYS = frozenset({"name", "wall_s", "index"})
+
+
+def check_trace_jsonl(
+    path: str | Path,
+    min_subsystems: int = 1,
+    require_nesting: bool = False,
+) -> list[str]:
+    """Validate a JSONL trace; returns a list of problems (empty = ok)."""
+    problems: list[str] = []
+    target = Path(path)
+    if not target.is_file():
+        return [f"{target}: trace file missing"]
+    subsystems: set[str] = set()
+    max_depth = -1
+    span_ids: set[int] = set()
+    parent_ids: set[int] = set()
+    for lineno, line in enumerate(target.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{target}:{lineno}: not valid JSON ({exc.msg})")
+            continue
+        kind = record.get("type")
+        if kind == "span":
+            missing = _SPAN_KEYS - record.keys()
+            if missing:
+                problems.append(f"{target}:{lineno}: span missing {sorted(missing)}")
+                continue
+            if record["duration_s"] < 0:
+                problems.append(f"{target}:{lineno}: negative span duration")
+            subsystems.add(str(record["name"]).split(".", 1)[0])
+            max_depth = max(max_depth, int(record["depth"]))
+            span_ids.add(int(record["span_id"]))
+            if record["parent_id"] is not None:
+                parent_ids.add(int(record["parent_id"]))
+        elif kind == "event":
+            missing = _EVENT_KEYS - record.keys()
+            if missing:
+                problems.append(f"{target}:{lineno}: event missing {sorted(missing)}")
+        else:
+            problems.append(f"{target}:{lineno}: unknown record type {kind!r}")
+    if not span_ids:
+        problems.append(f"{target}: trace contains no spans")
+    orphans = parent_ids - span_ids
+    if orphans:
+        problems.append(f"{target}: parent span ids never defined: {sorted(orphans)}")
+    if len(subsystems) < min_subsystems:
+        problems.append(
+            f"{target}: spans cover {len(subsystems)} subsystem(s) "
+            f"({', '.join(sorted(subsystems)) or 'none'}), need >= {min_subsystems}"
+        )
+    if require_nesting and max_depth < 1:
+        problems.append(f"{target}: no nested spans (max depth {max_depth})")
+    return problems
+
+
+def check_metrics_json(path: str | Path, min_metrics: int = 1) -> list[str]:
+    """Validate a metrics snapshot; returns a list of problems (empty = ok)."""
+    problems: list[str] = []
+    target = Path(path)
+    if not target.is_file():
+        return [f"{target}: metrics file missing"]
+    try:
+        document = json.loads(target.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return [f"{target}: not valid JSON ({exc.msg})"]
+    if not isinstance(document, dict):
+        return [f"{target}: top level must be an object"]
+    for key in ("version", "generator", "metric_names", "metrics"):
+        if key not in document:
+            problems.append(f"{target}: missing top-level key {key!r}")
+    metrics = document.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append(f"{target}: 'metrics' must be an object")
+        return problems
+    for key, entry in metrics.items():
+        if not isinstance(entry, dict) or entry.get("type") not in (
+            "counter", "gauge", "histogram",
+        ):
+            problems.append(f"{target}: metric {key!r} has no valid 'type'")
+        elif entry["type"] == "histogram" and "count" not in entry:
+            problems.append(f"{target}: histogram {key!r} missing 'count'")
+        elif entry["type"] in ("counter", "gauge") and "value" not in entry:
+            problems.append(f"{target}: {entry['type']} {key!r} missing 'value'")
+    names = document.get("metric_names")
+    n_names = len(names) if isinstance(names, list) else 0
+    if n_names < min_metrics:
+        problems.append(
+            f"{target}: {n_names} distinct metric name(s), need >= {min_metrics}"
+        )
+    return problems
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.check",
+        description="Validate repro.obs trace/metrics artifacts.",
+    )
+    parser.add_argument("--trace", metavar="PATH", help="JSONL trace to validate")
+    parser.add_argument("--metrics", metavar="PATH", help="metrics.json to validate")
+    parser.add_argument(
+        "--min-subsystems",
+        type=int,
+        default=1,
+        help="minimum distinct span-name subsystems the trace must cover",
+    )
+    parser.add_argument(
+        "--min-metrics",
+        type=int,
+        default=1,
+        help="minimum distinct metric names the snapshot must contain",
+    )
+    parser.add_argument(
+        "--require-nesting",
+        action="store_true",
+        help="fail unless the trace contains at least one nested span",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    options = build_parser().parse_args(argv)
+    if options.trace is None and options.metrics is None:
+        build_parser().error("give at least one of --trace / --metrics")
+    problems: list[str] = []
+    if options.trace is not None:
+        problems += check_trace_jsonl(
+            options.trace,
+            min_subsystems=options.min_subsystems,
+            require_nesting=options.require_nesting,
+        )
+    if options.metrics is not None:
+        problems += check_metrics_json(options.metrics, min_metrics=options.min_metrics)
+    # This module IS the CLI surface for CI; stdout is its report channel.
+    for problem in problems:  # milback: disable=ML007 — validator CLI output
+        print(problem)  # milback: disable=ML007 — validator CLI output
+    if not problems:
+        print("obs artifacts ok")  # milback: disable=ML007 — validator CLI output
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Exporters: text summary, JSONL trace dump, ``metrics.json`` snapshot.
+
+Three consumers, three formats:
+
+* humans skimming a terminal get :func:`render_text_summary`;
+* trace viewers and scripts get :func:`write_trace_jsonl` — one JSON
+  object per line, spans sorted by start time, events by their ordering
+  index, so interleaved streams replay deterministically;
+* CI and metric-diff tooling get :func:`write_metrics_json` — a single
+  versioned JSON document (``SNAPSHOT_VERSION``) keyed by flat metric
+  names.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "metrics_document",
+    "write_metrics_json",
+    "write_trace_jsonl",
+    "render_text_summary",
+]
+
+#: Bumped whenever the metrics.json schema changes shape.
+SNAPSHOT_VERSION = 1
+
+
+def metrics_document(registry: MetricsRegistry) -> dict[str, Any]:
+    """The ``metrics.json`` payload for ``registry``."""
+    snapshot = registry.snapshot()
+    return {
+        "version": SNAPSHOT_VERSION,
+        "generator": "repro.obs",
+        "metric_names": registry.names(),
+        "metrics": snapshot,
+    }
+
+
+def write_metrics_json(path: str | Path, registry: MetricsRegistry) -> Path:
+    """Write the snapshot document; returns the path written."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(metrics_document(registry), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def write_trace_jsonl(path: str | Path, tracer: Tracer) -> Path:
+    """Write one JSON object per span/event; returns the path written.
+
+    Spans come first (sorted by start time, then id), events after
+    (sorted by ordering index) — a stable order however threads
+    interleaved at runtime.
+    """
+    target = Path(path)
+    lines = []
+    for span in sorted(tracer.finished_spans(), key=lambda s: (s.start_s, s.span_id)):
+        lines.append(json.dumps(span.to_dict(), sort_keys=True))
+    for event in sorted(tracer.events(), key=lambda e: e.index):
+        lines.append(json.dumps(event.to_dict(), sort_keys=True))
+    target.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    return target
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_text_summary(
+    registry: MetricsRegistry, tracer: Tracer | None = None
+) -> str:
+    """Human-readable run summary: metrics table plus span roll-up."""
+    lines: list[str] = ["== metrics =="]
+    items = registry.items()
+    if not items:
+        lines.append("(no metrics recorded)")
+    width = max((len(key) for key, _ in items), default=0)
+    for key, metric in items:
+        if isinstance(metric, Counter):
+            lines.append(f"{key.ljust(width)}  counter  {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"{key.ljust(width)}  gauge    {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(
+                f"{key.ljust(width)}  hist     n={metric.count} "
+                f"mean={metric.mean:.6g} p50={metric.percentile(50):.6g} "
+                f"p90={metric.percentile(90):.6g}"
+            )
+    if tracer is not None:
+        lines.append("")
+        lines.append("== spans ==")
+        spans = tracer.finished_spans()
+        if not spans:
+            lines.append("(no spans recorded)")
+        by_name: dict[str, list[float]] = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span.duration_s)
+        name_width = max((len(name) for name in by_name), default=0)
+        for name in sorted(by_name):
+            durations = by_name[name]
+            lines.append(
+                f"{name.ljust(name_width)}  n={len(durations):<5d} "
+                f"total={sum(durations):.4f}s max={max(durations):.4f}s"
+            )
+        n_events = len(tracer.events())
+        if n_events:
+            lines.append(f"(+ {n_events} point events bridged into the trace)")
+    return "\n".join(lines)

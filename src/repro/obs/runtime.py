@@ -1,0 +1,112 @@
+"""Process-wide default registry/tracer and the one-liner helpers.
+
+Instrumented code should not thread a registry through every call
+signature — the physics APIs stay observability-free. Instead the
+module-level helpers here write to one process-wide
+:class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.tracing.Tracer` pair::
+
+    from repro import obs
+
+    obs.counter("engine.localization.trials").inc()
+    with obs.span("engine.localization"):
+        ...
+
+:func:`reset` clears both (the CLI calls it at the start of every
+``run`` so artifacts describe exactly one invocation; tests call it for
+isolation).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, ContextManager, TypeVar
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Span, Tracer, TraceEvent
+
+__all__ = [
+    "get_registry",
+    "get_tracer",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "event",
+    "traced",
+    "reset",
+]
+
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer(registry=_REGISTRY)
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+def counter(name: str, **labels: str) -> Counter:
+    """Get-or-create a counter on the default registry."""
+    return _REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: str) -> Gauge:
+    """Get-or-create a gauge on the default registry."""
+    return _REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: str) -> Histogram:
+    """Get-or-create a histogram on the default registry."""
+    return _REGISTRY.histogram(name, **labels)
+
+
+def span(name: str, **meta: Any) -> ContextManager[Span]:
+    """Open a span on the default tracer (``with obs.span("engine.x"):``)."""
+    return _TRACER.span(name, **meta)
+
+
+def event(
+    name: str,
+    sim_time_s: float | None = None,
+    index: int | None = None,
+    **meta: Any,
+) -> TraceEvent:
+    """Record a point event on the default tracer."""
+    return _TRACER.add_event(name, sim_time_s=sim_time_s, index=index, **meta)
+
+
+def traced(name: str, count: str | None = None, **labels: str) -> Callable[[F], F]:
+    """Decorator form of :func:`span` for whole functions.
+
+    ``count`` optionally names a counter (with ``labels``) incremented
+    on every call — the idiom for per-trial counts::
+
+        @obs.traced("engine.localization", count="engine.localization.trials")
+        def simulate_localization(self): ...
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if count is not None:
+                _REGISTRY.counter(count, **labels).inc()
+            with _TRACER.span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def reset() -> None:
+    """Clear the default registry and tracer in place."""
+    _REGISTRY.reset()
+    _TRACER.reset()

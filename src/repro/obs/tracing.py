@@ -1,0 +1,223 @@
+"""Lightweight tracing spans over ``time.perf_counter``.
+
+A :class:`Span` measures the wall time of one stage — a simulator burst,
+a protocol phase, an experiment sweep — and knows its parent, so a trace
+reads as a tree: ``cli.run`` contains ``experiment.fig12`` contains
+``sweep.point`` contains ``engine.localization``. Point-in-time records
+(:class:`TraceEvent`) carry the protocol's *simulated* clock next to the
+wall clock, so the two time bases can be lined up after the fact.
+
+Every finished span also feeds the metrics registry: a histogram
+``span.<name>.duration_s`` and a zero-initialised counter
+``span.<name>.errors`` (incremented when the span body raises). That one
+convention gives every instrumented stage a latency distribution and an
+error count for free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Span", "TraceEvent", "Tracer"]
+
+#: Spans/events kept per tracer before further ones are dropped (a full
+#: evaluation sweep stays well under this; the caps only bound memory in
+#: pathological loops, e.g. benchmark calibration re-running a sweep).
+MAX_FINISHED_SPANS = 200_000
+MAX_EVENTS = 200_000
+
+
+@dataclass
+class Span:
+    """One timed stage of a run."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    start_s: float
+    meta: dict[str, Any] = field(default_factory=dict)
+    end_s: float | None = None
+    error: str | None = None
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time; 0.0 while the span is still open."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    @property
+    def subsystem(self) -> str:
+        """Leading dotted component: ``engine.localization`` → ``engine``."""
+        return self.name.split(".", 1)[0]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "error": self.error,
+            "meta": self.meta,
+        }
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A point-in-time record, e.g. one bridged protocol event."""
+
+    name: str
+    wall_s: float
+    index: int
+    span_id: int | None
+    sim_time_s: float | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "event",
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "index": self.index,
+            "span_id": self.span_id,
+            "sim_time_s": self.sim_time_s,
+            "meta": self.meta,
+        }
+
+
+class _SpanStack(threading.local):
+    """Per-thread stack of open spans (nesting is thread-scoped)."""
+
+    def __init__(self) -> None:
+        self.stack: list[Span] = []
+
+
+class Tracer:
+    """Collects spans and events for one process-wide trace."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._registry = registry
+        self._finished: list[Span] = []
+        self._events: list[TraceEvent] = []
+        self._open = _SpanStack()
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._event_index = 0
+
+    # --- span lifecycle -------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **meta: Any) -> Iterator[Span]:
+        """Time a block::
+
+            with tracer.span("engine.uplink", bits=1024):
+                ...
+        """
+        record = self._start(name, meta)
+        try:
+            yield record
+        except BaseException as exc:  # milback: disable=ML004 — tag-and-reraise: spans must observe every failure
+            record.error = type(exc).__name__
+            raise
+        finally:
+            self._finish(record)
+
+    def _start(self, name: str, meta: dict[str, Any]) -> Span:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        parent = self._open.stack[-1] if self._open.stack else None
+        record = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent else None,
+            depth=len(self._open.stack),
+            start_s=time.perf_counter(),
+            meta=dict(meta),
+        )
+        self._open.stack.append(record)
+        return record
+
+    def _finish(self, record: Span) -> None:
+        record.end_s = time.perf_counter()
+        if self._open.stack and self._open.stack[-1] is record:
+            self._open.stack.pop()
+        with self._lock:
+            if len(self._finished) < MAX_FINISHED_SPANS:
+                self._finished.append(record)
+        if self._registry is not None:
+            self._registry.histogram(f"span.{record.name}.duration_s").observe(
+                record.duration_s
+            )
+            errors = self._registry.counter(f"span.{record.name}.errors")
+            if record.error is not None:
+                errors.inc()
+
+    # --- point events ----------------------------------------------------------------
+
+    def add_event(
+        self,
+        name: str,
+        sim_time_s: float | None = None,
+        index: int | None = None,
+        **meta: Any,
+    ) -> TraceEvent:
+        """Record an instantaneous event under the current span (if any).
+
+        ``index`` is the source's own ordering index (e.g. the protocol
+        :class:`~repro.protocol.events.EventLog` position); when absent
+        the tracer assigns the next global event index so interleaved
+        streams still sort stably.
+        """
+        with self._lock:
+            if index is None:
+                index = self._event_index
+            self._event_index = max(self._event_index, index) + 1
+            parent = self._open.stack[-1] if self._open.stack else None
+            record = TraceEvent(
+                name=name,
+                wall_s=time.perf_counter(),
+                index=index,
+                span_id=parent.span_id if parent else None,
+                sim_time_s=sim_time_s,
+                meta=dict(meta),
+            )
+            if len(self._events) < MAX_EVENTS:
+                self._events.append(record)
+        return record
+
+    # --- views ---------------------------------------------------------------------
+
+    def finished_spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def events(self) -> list[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def subsystems(self) -> set[str]:
+        """Distinct leading span-name components seen so far."""
+        return {s.subsystem for s in self.finished_spans()}
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        return self._open.stack[-1] if self._open.stack else None
+
+    def reset(self) -> None:
+        """Drop finished spans and events (open spans keep their ids)."""
+        with self._lock:
+            self._finished.clear()
+            self._events.clear()
+            self._event_index = 0

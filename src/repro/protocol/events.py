@@ -8,7 +8,7 @@ happened on the air.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.errors import ConfigurationError
 
@@ -17,11 +17,18 @@ __all__ = ["Event", "EventLog"]
 
 @dataclass(frozen=True)
 class Event:
-    """One protocol event."""
+    """One protocol event.
+
+    ``index`` is the event's position in its log — several phases can
+    share one simulated timestamp (the clock advances *after* a phase is
+    recorded), so consumers that merge or re-sort traces order by
+    ``(time_s, index)`` rather than time alone.
+    """
 
     time_s: float
     kind: str
     detail: dict[str, Any] = field(default_factory=dict)
+    index: int = 0
 
     def __str__(self) -> str:
         pieces = ", ".join(f"{k}={v}" for k, v in self.detail.items())
@@ -29,11 +36,26 @@ class Event:
 
 
 class EventLog:
-    """Append-only event trace with a running clock."""
+    """Append-only event trace with a running clock.
 
-    def __init__(self) -> None:
+    A ``sink`` (any callable taking an :class:`Event`) observes every
+    record as it happens — the hook :func:`repro.obs.attach_event_log`
+    uses to mirror the simulated-time log into the wall-time trace.
+    """
+
+    def __init__(self, sink: Callable[[Event], None] | None = None) -> None:
         self._events: list[Event] = []
         self._clock_s = 0.0
+        self._sink = sink
+
+    def attach_sink(self, sink: Callable[[Event], None] | None) -> None:
+        """Set (or clear, with ``None``) the forwarding sink."""
+        self._sink = sink
+
+    @property
+    def has_sink(self) -> bool:
+        """True when a forwarding sink is attached."""
+        return self._sink is not None
 
     @property
     def now_s(self) -> float:
@@ -47,9 +69,11 @@ class EventLog:
         self._clock_s += duration_s
 
     def record(self, kind: str, **detail: Any) -> Event:
-        """Log an event at the current time."""
-        event = Event(self._clock_s, kind, dict(detail))
+        """Log an event at the current time (and forward it to the sink)."""
+        event = Event(self._clock_s, kind, dict(detail), index=len(self._events))
         self._events.append(event)
+        if self._sink is not None:
+            self._sink(event)
         return event
 
     def events(self, kind: str | None = None) -> list[Event]:

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.dsp.signal import Signal
 from repro.errors import ProtocolError
 from repro.node.firmware import PayloadDirection
@@ -78,12 +79,19 @@ class MilBackLink:
         threshold estimator or timing recovery."""
         self.sim = sim
         self.schedule = schedule or PacketSchedule()
-        self.log = log or EventLog()
+        # Not `log or EventLog()`: an empty EventLog is falsy (__len__),
+        # which would silently discard the caller's log — and its sink.
+        self.log = log if log is not None else EventLog()
         self.use_fec = use_fec
         self.use_scrambling = use_scrambling
+        # Mirror the simulated-time log into the wall-time trace, unless
+        # the caller already routes events somewhere else.
+        if not self.log.has_sink:
+            obs.attach_event_log(self.log)
 
     # --- standalone phases --------------------------------------------------------
 
+    @obs.traced("protocol.localize", count="protocol.localize.calls")
     def localize(self) -> LocalizationResult:
         """Run a Field-2 burst and return the AP's location fix."""
         result = self.sim.simulate_localization()
@@ -115,81 +123,97 @@ class MilBackLink:
     ) -> SessionResult:
         if not payload:
             raise ProtocolError("payload must be non-empty")
+        obs.counter("protocol.sessions", direction=direction.value).inc()
+        with obs.span("protocol.session", direction=direction.value):
+            return self._run_session_phases(direction, payload, bit_rate_bps)
+
+    def _run_session_phases(
+        self,
+        direction: PayloadDirection,
+        payload: bytes,
+        bit_rate_bps: float,
+    ) -> SessionResult:
         start_time_s = self.log.now_s
 
         # Field 1: direction announcement + node-side orientation.
-        announce_uplink = direction is PayloadDirection.UPLINK
-        adc_a, adc_b = self.sim.simulate_field1(announce_uplink)
-        decision = self.sim.node.firmware.classify_field1(adc_a, adc_b)
-        if decision.direction is not direction:
-            raise ProtocolError(
-                f"node misclassified Field 1: announced {direction}, "
-                f"decoded {decision.direction}"
+        with obs.span("protocol.field1"):
+            announce_uplink = direction is PayloadDirection.UPLINK
+            adc_a, adc_b = self.sim.simulate_field1(announce_uplink)
+            decision = self.sim.node.firmware.classify_field1(adc_a, adc_b)
+            if decision.direction is not direction:
+                obs.counter("protocol.field1.misclassified").inc()
+                raise ProtocolError(
+                    f"node misclassified Field 1: announced {direction}, "
+                    f"decoded {decision.direction}"
+                )
+            node_orientation = self._node_orientation_from_field1(adc_a, adc_b)
+            self.sim.node.firmware.configure_for_localization()
+            self.log.record(
+                "field1",
+                direction=direction.value,
+                node_orientation_deg=round(node_orientation.orientation_est_deg, 2),
             )
-        node_orientation = self._node_orientation_from_field1(adc_a, adc_b)
-        self.sim.node.firmware.configure_for_localization()
-        self.log.record(
-            "field1",
-            direction=direction.value,
-            node_orientation_deg=round(node_orientation.orientation_est_deg, 2),
-        )
-        self.log.advance(self.schedule.field1_duration_s)
+            self.log.advance(self.schedule.field1_duration_s)
 
         # Field 2: AP localizes the node and senses its orientation.
-        localization = self.sim.simulate_localization()
-        ap_orientation = self.sim.simulate_ap_orientation()
-        self.log.record(
-            "field2",
-            distance_m=round(localization.distance_est_m, 4),
-            angle_deg=round(localization.angle_est_deg, 2),
-            orientation_deg=round(ap_orientation.orientation_est_deg, 2),
-        )
-        self.log.advance(self.schedule.field2_duration_s)
+        with obs.span("protocol.field2"):
+            localization = self.sim.simulate_localization()
+            ap_orientation = self.sim.simulate_ap_orientation()
+            self.log.record(
+                "field2",
+                distance_m=round(localization.distance_est_m, 4),
+                angle_deg=round(localization.angle_est_deg, 2),
+                orientation_deg=round(ap_orientation.orientation_est_deg, 2),
+            )
+            self.log.advance(self.schedule.field2_duration_s)
 
         # Payload: the AP picks the tone pair from *its* orientation
         # estimate — estimation error costs beam gain, exactly as in the
         # real system (§9.3's "3–4° error will not impact communication").
-        pair = self.sim.ap.tone_pair_for_orientation(
-            ap_orientation.orientation_est_deg
-        )
-        bits = encode_frame(payload)
-        if self.use_scrambling:
-            bits = scramble(bits)
-        if self.use_fec:
-            bits = interleave(hamming74_encode(bits), self.FEC_INTERLEAVE_DEPTH)
-        self.sim.node.firmware.configure_for_payload(direction)
-        if direction is PayloadDirection.DOWNLINK:
-            run = self.sim.simulate_downlink(bits, bit_rate_bps, pair=pair)
-            quality_db = run.sinr_db
-        else:
-            run = self.sim.simulate_uplink(bits, bit_rate_bps, pair=pair)
-            quality_db = run.snr_db
-        try:
-            rx_bits = run.rx_bits
-            if self.use_fec:
-                deinterleaved = deinterleave(
-                    rx_bits[: bits.size], self.FEC_INTERLEAVE_DEPTH
-                )
-                # Drop the interleaver's zero padding: codewords are 7 bits.
-                whole = (deinterleaved.size // 7) * 7
-                rx_bits, _ = hamming74_decode(deinterleaved[:whole])
+        with obs.span("protocol.payload", direction=direction.value):
+            pair = self.sim.ap.tone_pair_for_orientation(
+                ap_orientation.orientation_est_deg
+            )
+            bits = encode_frame(payload)
             if self.use_scrambling:
-                rx_bits = descramble(rx_bits[: len(bits) if not self.use_fec else rx_bits.size])
-            header, received = decode_frame(rx_bits)
-            crc_ok = header.crc_ok
-        except ProtocolError:
-            received, crc_ok = None, False
-        # Back to listening: the next packet's preamble must be heard.
-        self.sim.node.firmware.configure_for_idle()
-        payload_duration = self.schedule.payload_duration_s(bits.size, bit_rate_bps)
-        self.log.record(
-            "payload",
-            direction=direction.value,
-            bits=int(bits.size),
-            quality_db=round(quality_db, 1) if not np.isnan(quality_db) else None,
-            crc_ok=crc_ok,
-        )
-        self.log.advance(payload_duration)
+                bits = scramble(bits)
+            if self.use_fec:
+                bits = interleave(hamming74_encode(bits), self.FEC_INTERLEAVE_DEPTH)
+            self.sim.node.firmware.configure_for_payload(direction)
+            if direction is PayloadDirection.DOWNLINK:
+                run = self.sim.simulate_downlink(bits, bit_rate_bps, pair=pair)
+                quality_db = run.sinr_db
+            else:
+                run = self.sim.simulate_uplink(bits, bit_rate_bps, pair=pair)
+                quality_db = run.snr_db
+            try:
+                rx_bits = run.rx_bits
+                if self.use_fec:
+                    deinterleaved = deinterleave(
+                        rx_bits[: bits.size], self.FEC_INTERLEAVE_DEPTH
+                    )
+                    # Drop the interleaver's zero padding: codewords are 7 bits.
+                    whole = (deinterleaved.size // 7) * 7
+                    rx_bits, _ = hamming74_decode(deinterleaved[:whole])
+                if self.use_scrambling:
+                    rx_bits = descramble(rx_bits[: len(bits) if not self.use_fec else rx_bits.size])
+                header, received = decode_frame(rx_bits)
+                crc_ok = header.crc_ok
+            except ProtocolError:
+                received, crc_ok = None, False
+            if not crc_ok:
+                obs.counter("protocol.crc_failures").inc()
+            # Back to listening: the next packet's preamble must be heard.
+            self.sim.node.firmware.configure_for_idle()
+            payload_duration = self.schedule.payload_duration_s(bits.size, bit_rate_bps)
+            self.log.record(
+                "payload",
+                direction=direction.value,
+                bits=int(bits.size),
+                quality_db=round(quality_db, 1) if not np.isnan(quality_db) else None,
+                crc_ok=crc_ok,
+            )
+            self.log.advance(payload_duration)
 
         return SessionResult(
             direction=direction,

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.antennas.dual_port_fsa import TonePair
 from repro.antennas.fsa import FsaPort
 from repro.ap.access_point import AccessPoint
@@ -250,6 +251,7 @@ class MilBackSimulator:
 
     # --- FMCW beat-record synthesis -------------------------------------------------
 
+    @obs.traced("engine.beat_records")
     def _beat_records(
         self,
         toggled_port: str = "both",
@@ -278,6 +280,7 @@ class MilBackSimulator:
         cfg = self.ap.config
         chirp = cfg.ranging_chirp
         n_chirps = n_chirps or cfg.n_ranging_chirps
+        obs.counter("engine.chirps.synthesized").inc(n_chirps)
         fs_hz = cfg.beat_sample_rate_hz
         n = int(round(chirp.duration_s * fs_hz))
         t = np.arange(n) / fs_hz
@@ -433,6 +436,7 @@ class MilBackSimulator:
                 return azimuth
         return 0.0  # self-interference: on-axis
 
+    @obs.traced("engine.probe_direction", count="engine.probe_direction.trials")
     def probe_direction(
         self, steer_azimuth_deg: float, n_chirps: int = 11
     ) -> tuple[float, float, float]:
@@ -469,6 +473,7 @@ class MilBackSimulator:
 
     # --- localization (paper §5.1, Fig. 12) --------------------------------------------
 
+    @obs.traced("engine.localization", count="engine.localization.trials")
     def simulate_localization(self) -> LocalizationResult:
         """FMCW ranging + two-antenna AoA, one full Field-2 burst."""
         records_rx1, records_rx2 = self._beat_records(toggled_port="both")
@@ -486,6 +491,7 @@ class MilBackSimulator:
             beat_frequency_hz=estimate.beat_frequency_hz,
         )
 
+    @obs.traced("engine.velocity", count="engine.velocity.trials")
     def simulate_velocity(
         self,
         radial_velocity_mps: float,
@@ -513,6 +519,7 @@ class MilBackSimulator:
         velocity = doppler.estimate(records, estimate.beat_frequency_hz)
         return estimate, velocity
 
+    @obs.traced("engine.localization_array", count="engine.localization_array.trials")
     def simulate_localization_array(
         self,
         n_antennas: int = 8,
@@ -548,6 +555,7 @@ class MilBackSimulator:
 
     # --- AP-side orientation (paper §5.2a, Fig. 13b) -----------------------------------
 
+    @obs.traced("engine.ap_orientation", count="engine.ap_orientation.trials")
     def simulate_ap_orientation(self) -> ApOrientationResult:
         """One port toggles, the AP reads orientation off the reflection
         spectrum."""
@@ -564,6 +572,7 @@ class MilBackSimulator:
 
     # --- node-side orientation (paper §5.2b, Fig. 13a) ----------------------------------
 
+    @obs.traced("engine.node_orientation", count="engine.node_orientation.trials")
     def simulate_node_orientation(
         self,
         n_chirps: int = 3,
@@ -608,6 +617,7 @@ class MilBackSimulator:
 
     # --- preamble Field 1 (paper §7, Fig. 8) -------------------------------------------
 
+    @obs.traced("engine.field1", count="engine.field1.trials")
     def simulate_field1(
         self,
         announce_uplink: bool,
@@ -641,6 +651,7 @@ class MilBackSimulator:
 
     # --- downlink (paper §6.1–6.2, Figs. 11 & 14) ----------------------------------------
 
+    @obs.traced("engine.downlink", count="engine.downlink.trials")
     def simulate_downlink(
         self,
         bits,
@@ -666,6 +677,7 @@ class MilBackSimulator:
         use_ook = pair.separation_hz < self.ap.downlink_tx.min_tone_separation_hz
 
         if use_ook:
+            obs.counter("engine.downlink.ook_fallbacks").inc()
             return self._simulate_downlink_ook(bits, bit_rate_bps, pair, keep_traces)
 
         from repro.phy.oaqfm import bits_to_symbols, tone_gates
@@ -720,6 +732,7 @@ class MilBackSimulator:
             detector_b=detector_out[FsaPort.B] if keep_traces else None,
         )
 
+    @obs.traced("engine.downlink_dense", count="engine.downlink_dense.trials")
     def simulate_downlink_dense(
         self,
         bits,
@@ -839,6 +852,7 @@ class MilBackSimulator:
 
     # --- uplink (paper §6.3, Fig. 15) ------------------------------------------------------
 
+    @obs.traced("engine.uplink", count="engine.uplink.trials")
     def simulate_uplink(
         self,
         bits,

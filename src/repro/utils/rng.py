@@ -12,6 +12,7 @@ from typing import Union
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 
 __all__ = ["make_rng", "spawn_rngs"]
@@ -25,9 +26,16 @@ def make_rng(seed: RngLike = None) -> np.random.Generator:
     Accepts ``None`` (fresh entropy), an integer seed, a ``SeedSequence``,
     or an existing ``Generator`` (returned unchanged so RNG state is shared
     deliberately, never copied by accident).
+
+    Every *new* generator bumps the ``rng.generators.created`` counter
+    (passed-through generators count separately): a metrics diff where
+    that number moves for the same workload means the RNG plumbing — and
+    therefore determinism — changed.
     """
     if isinstance(seed, np.random.Generator):
+        obs.counter("rng.generators.passed_through").inc()
         return seed
+    obs.counter("rng.generators.created").inc()
     return np.random.default_rng(seed)
 
 
@@ -39,6 +47,8 @@ def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
     """
     if count < 0:
         raise ConfigurationError("count must be non-negative")
+    obs.counter("rng.spawn_rngs.calls").inc()
+    obs.counter("rng.generators.created").inc(count)
     if isinstance(seed, np.random.Generator):
         # Derive children from the generator's own bit stream.
         seeds = seed.integers(0, 2**63 - 1, size=count)

@@ -32,7 +32,7 @@ def rule_ids(findings):
 class TestEngine:
     def test_all_rules_registered(self):
         ids = [cls.rule_id for cls in all_rules()]
-        assert ids == ["ML001", "ML002", "ML003", "ML004", "ML005", "ML006"]
+        assert ids == ["ML001", "ML002", "ML003", "ML004", "ML005", "ML006", "ML007"]
 
     def test_get_rule_unknown_id_raises(self):
         with pytest.raises(StaticAnalysisError):
@@ -402,6 +402,61 @@ class TestML006DunderAll:
         assert rule_ids(
             findings_for(source, path="pkg/__init__.py", select=["ML006"])
         ) == ["ML006"]
+
+
+class TestML007BarePrint:
+    def test_fires_on_bare_print(self):
+        source = """\
+        __all__ = []
+        def report(x):
+            print(x)
+        """
+        findings = findings_for(source, select=["ML007"])
+        assert rule_ids(findings) == ["ML007"]
+        assert "print()" in findings[0].message
+
+    def test_fires_in_main_guard_without_pragma(self):
+        source = """\
+        __all__ = []
+        if __name__ == "__main__":
+            print("hi")
+        """
+        assert rule_ids(findings_for(source, select=["ML007"])) == ["ML007"]
+
+    def test_line_pragma_suppresses(self):
+        source = """\
+        __all__ = []
+        if __name__ == "__main__":
+            print("hi")  # milback: disable=ML007 — script entry point
+        """
+        assert findings_for(source, select=["ML007"]) == []
+
+    def test_file_pragma_suppresses(self):
+        source = """\
+        # milback: disable-file=ML007 — CLI module
+        __all__ = []
+        def report(x):
+            print(x)
+        """
+        assert findings_for(source, select=["ML007"]) == []
+
+    def test_silent_on_rebound_print(self):
+        source = """\
+        __all__ = []
+        def collect(print):
+            print("not the builtin")
+        print = collect
+        """
+        assert findings_for(source, select=["ML007"]) == []
+
+    def test_silent_on_method_named_print(self):
+        source = """\
+        __all__ = []
+        def render(doc):
+            doc.print()
+            return doc
+        """
+        assert findings_for(source, select=["ML007"]) == []
 
 
 class TestCli:
