@@ -9,6 +9,9 @@ Every ``run`` is instrumented through :mod:`repro.obs`: add ``--trace``
 and/or ``--metrics-out`` to dump a JSONL span trace and a metrics
 snapshot of the invocation, or ``--obs-summary`` for a human-readable
 roll-up after the experiment output.
+
+``--workers N`` executes sweep trials on N processes (see
+``docs/PERFORMANCE.md``); results are bitwise identical to serial runs.
 """
 
 from __future__ import annotations
@@ -38,40 +41,68 @@ __all__ = [
     "build_parser",
 ]
 
-#: name -> (description, runner taking optional trial count)
+#: name -> (description, runner taking optional trial count and worker count).
+#: Experiments whose hot loop is a homogeneous sweep accept ``workers``
+#: (see docs/PERFORMANCE.md); the rest take and ignore it, so the CLI
+#: can pass ``--workers`` uniformly.
 EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {
-    "fig10": ("Dual-port FSA beam pattern", lambda trials=None: fig10_beam_pattern.main()),
-    "fig11": ("OAQFM microbenchmark", lambda trials=None: fig11_oaqfm.main()),
+    "fig10": (
+        "Dual-port FSA beam pattern",
+        lambda trials=None, workers=None: fig10_beam_pattern.main(),
+    ),
+    "fig11": (
+        "OAQFM microbenchmark",
+        lambda trials=None, workers=None: fig11_oaqfm.main(),
+    ),
     "fig12": (
         "Localization accuracy (ranging + AoA)",
-        lambda trials=None: fig12_localization.main(n_trials=trials or 20),
+        lambda trials=None, workers=None: fig12_localization.main(
+            n_trials=trials or 20, max_workers=workers
+        ),
     ),
     "fig13": (
         "Orientation sensing (node + AP)",
-        lambda trials=None: fig13_orientation.main(n_trials=trials or 25),
+        lambda trials=None, workers=None: fig13_orientation.main(
+            n_trials=trials or 25, max_workers=workers
+        ),
     ),
     "fig14": (
         "Downlink SINR vs distance",
-        lambda trials=None: fig14_downlink.main(n_trials=trials or 10),
+        lambda trials=None, workers=None: fig14_downlink.main(
+            n_trials=trials or 10, max_workers=workers
+        ),
     ),
     "fig15": (
         "Uplink SNR vs distance (10/40 Mbps)",
-        lambda trials=None: fig15_uplink.main(n_trials=trials or 10),
+        lambda trials=None, workers=None: fig15_uplink.main(
+            n_trials=trials or 10, max_workers=workers
+        ),
     ),
-    "table1": ("Capability comparison", lambda trials=None: table1_comparison.main()),
-    "power": ("Node power consumption (§9.6)", lambda trials=None: power_table.main()),
-    "ablations": ("Design-choice ablations", lambda trials=None: ablations.main()),
+    "table1": (
+        "Capability comparison",
+        lambda trials=None, workers=None: table1_comparison.main(),
+    ),
+    "power": (
+        "Node power consumption (§9.6)",
+        lambda trials=None, workers=None: power_table.main(),
+    ),
+    "ablations": (
+        "Design-choice ablations",
+        lambda trials=None, workers=None: ablations.main(),
+    ),
     "coverage": (
         "2-D room coverage map (beyond the paper)",
-        lambda trials=None: coverage_map.main(n_trials=trials or 3),
+        lambda trials=None, workers=None: coverage_map.main(
+            n_trials=trials or 3, max_workers=workers
+        ),
     ),
     "goodput": (
         "Application goodput: preamble tax + ARQ at range",
-        lambda trials=None: goodput.main(),
+        lambda trials=None, workers=None: goodput.main(),
     ),
     "sensitivity": (
         "Calibration-knob sensitivity audit",
-        lambda trials=None: sensitivity.main(),
+        lambda trials=None, workers=None: sensitivity.main(),
     ),
 }
 
@@ -91,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override the per-point trial count (where applicable)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run sweeps on N worker processes (0 = all cores; results "
+        "are bitwise identical to serial; default: $REPRO_MAX_WORKERS or 1)",
     )
     run.add_argument(
         "--trace",
@@ -117,10 +155,10 @@ def _run_experiments(args: argparse.Namespace) -> int:
     if args.experiment == "all":
         for name, (_, runner) in EXPERIMENTS.items():
             print(f"\n### {name} " + "#" * max(60 - len(name), 0))  # milback: disable=ML007 — CLI output
-            print(runner(trials=args.trials))  # milback: disable=ML007 — CLI output
+            print(runner(trials=args.trials, workers=args.workers))  # milback: disable=ML007 — CLI output
         return 0
     _, runner = EXPERIMENTS[args.experiment]
-    print(runner(trials=args.trials))  # milback: disable=ML007 — CLI output
+    print(runner(trials=args.trials, workers=args.workers))  # milback: disable=ML007 — CLI output
     return 0
 
 

@@ -23,6 +23,7 @@ from repro.errors import (
     ProtocolError,
     SignalError,
 )
+from repro.parallel import parallel_map
 from repro.sim.engine import MilBackSimulator
 from repro.utils.geometry import Pose2D
 from repro.utils.rng import spawn_rngs
@@ -113,33 +114,41 @@ def run_coverage_map(
     bit_rate_bps: float = 2e6,
     uplink_rate_bps: float = 40e6,
     seed: int = 77,
+    max_workers: int | None = None,
 ) -> CoverageMap:
     """Sweep the grid; each cell gets ``n_trials`` random orientations.
 
     The default uplink rate is the paper's aggressive 40 Mbps, where the
     two-way budget runs out around 8 m and the map develops its cliff.
+    Cells are independent given their pre-spawned RNG streams, so
+    ``max_workers`` runs them on a process pool with identical output.
     """
     if n_x < 2 or n_y < 2:
         raise ConfigurationError("grid needs at least 2x2 cells")
     x = np.linspace(*x_range_m, n_x)
     y = np.linspace(*y_range_m, n_y)
     rngs = spawn_rngs(seed, n_x * n_y * n_trials)
-    delivery = np.zeros((n_y, n_x))
+    cells = []
     idx = 0
-    for i, yi in enumerate(y):
-        for j, xj in enumerate(x):
-            cell_rngs = rngs[idx : idx + n_trials]
+    for yi in y:
+        for xj in x:
+            cells.append((float(xj), float(yi), rngs[idx : idx + n_trials]))
             idx += n_trials
-            delivery[i, j] = _cell_delivery(
-                float(xj), float(yi), n_trials, bit_rate_bps, uplink_rate_bps, cell_rngs
-            )
+    result = parallel_map(
+        lambda cell: _cell_delivery(
+            cell[0], cell[1], n_trials, bit_rate_bps, uplink_rate_bps, cell[2]
+        ),
+        cells,
+        max_workers=max_workers,
+    )
+    delivery = np.asarray(result.values, dtype=float).reshape(n_y, n_x)
     return CoverageMap(x, y, delivery)
 
 
 @obs.traced("experiment.coverage", count="experiment.runs", experiment="coverage")
-def main(n_trials: int = 3) -> str:
+def main(n_trials: int = 3, max_workers: int | None = None) -> str:
     """Run and render the coverage study."""
-    coverage = run_coverage_map(n_trials=n_trials)
+    coverage = run_coverage_map(n_trials=n_trials, max_workers=max_workers)
     table = render_table(
         coverage.ring_statistics(),
         title="Two-way coverage by distance ring (random orientations)",

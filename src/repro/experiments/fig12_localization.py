@@ -55,6 +55,7 @@ def run_fig12_ranging(
     n_trials: int = 20,
     orientation_deg: float = 10.0,
     seed: int = 12,
+    max_workers: int | None = None,
 ) -> list[SweepPoint]:
     """Panel (a): ranging error sweep (20 trials per distance, as in §9.2)."""
 
@@ -66,7 +67,7 @@ def run_fig12_ranging(
         link = MilBackLink(MilBackSimulator(scene, seed=rng))
         return link.localize().distance_error_m
 
-    return run_error_sweep(distances_m, trial, n_trials, seed)
+    return run_error_sweep(distances_m, trial, n_trials, seed, max_workers=max_workers)
 
 
 def run_fig12_angle(
@@ -75,6 +76,7 @@ def run_fig12_angle(
     distance_m: float = 3.0,
     orientation_deg: float = 10.0,
     seed: int = 121,
+    max_workers: int | None = None,
 ) -> np.ndarray:
     """Panel (b): pooled angle errors across azimuth placements."""
 
@@ -85,18 +87,21 @@ def run_fig12_angle(
         link = MilBackLink(MilBackSimulator(scene, seed=rng))
         return link.localize().angle_error_deg
 
-    points = run_error_sweep(azimuths_deg, trial, n_trials, seed)
+    points = run_error_sweep(azimuths_deg, trial, n_trials, seed, max_workers=max_workers)
     return np.concatenate([np.asarray(p.values) for p in points])
 
 
 def run_fig12(
     n_trials: int = 20,
     seed: int = 12,
+    max_workers: int | None = None,
 ) -> LocalizationFigure:
     """Both panels."""
     return LocalizationFigure(
-        ranging=run_fig12_ranging(n_trials=n_trials, seed=seed),
-        angle_errors_deg=run_fig12_angle(n_trials=n_trials, seed=seed + 1),
+        ranging=run_fig12_ranging(n_trials=n_trials, seed=seed, max_workers=max_workers),
+        angle_errors_deg=run_fig12_angle(
+            n_trials=n_trials, seed=seed + 1, max_workers=max_workers
+        ),
     )
 
 
@@ -117,9 +122,9 @@ def ranging_rows(points: list[SweepPoint]) -> list[dict[str, object]]:
 
 
 @obs.traced("experiment.fig12", count="experiment.runs", experiment="fig12")
-def main(n_trials: int = 20) -> str:
+def main(n_trials: int = 20, max_workers: int | None = None) -> str:
     """Run and render the Figure-12 reproduction."""
-    figure = run_fig12(n_trials=n_trials)
+    figure = run_fig12(n_trials=n_trials, max_workers=max_workers)
     table = render_table(
         ranging_rows(figure.ranging),
         title="Figure 12a: ranging accuracy (paper: <5 cm @5 m, <12 cm @8 m)",

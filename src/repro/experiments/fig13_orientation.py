@@ -62,6 +62,7 @@ def run_fig13_node(
     n_trials: int = 25,
     distance_m: float = 2.0,
     seed: int = 13,
+    max_workers: int | None = None,
 ) -> list[SweepPoint]:
     """Panel (a): node-side orientation errors."""
 
@@ -70,7 +71,7 @@ def run_fig13_node(
         sim = MilBackSimulator(scene, seed=rng)
         return sim.simulate_node_orientation().error_deg
 
-    return run_error_sweep(orientations_deg, trial, n_trials, seed)
+    return run_error_sweep(orientations_deg, trial, n_trials, seed, max_workers=max_workers)
 
 
 def run_fig13_ap(
@@ -78,6 +79,7 @@ def run_fig13_ap(
     n_trials: int = 25,
     distance_m: float = 2.0,
     seed: int = 131,
+    max_workers: int | None = None,
 ) -> list[SweepPoint]:
     """Panel (b): AP-side orientation errors."""
 
@@ -86,14 +88,18 @@ def run_fig13_ap(
         sim = MilBackSimulator(scene, seed=rng)
         return sim.simulate_ap_orientation().error_deg
 
-    return run_error_sweep(orientations_deg, trial, n_trials, seed)
+    return run_error_sweep(orientations_deg, trial, n_trials, seed, max_workers=max_workers)
 
 
-def run_fig13(n_trials: int = 25, seed: int = 13) -> OrientationFigure:
+def run_fig13(
+    n_trials: int = 25, seed: int = 13, max_workers: int | None = None
+) -> OrientationFigure:
     """Both panels."""
     return OrientationFigure(
-        node_side=run_fig13_node(n_trials=n_trials, seed=seed),
-        ap_side=run_fig13_ap(n_trials=n_trials, seed=seed + 100),
+        node_side=run_fig13_node(n_trials=n_trials, seed=seed, max_workers=max_workers),
+        ap_side=run_fig13_ap(
+            n_trials=n_trials, seed=seed + 100, max_workers=max_workers
+        ),
     )
 
 
@@ -130,9 +136,9 @@ def figure_rows(figure: OrientationFigure) -> list[dict[str, object]]:
 
 
 @obs.traced("experiment.fig13", count="experiment.runs", experiment="fig13")
-def main(n_trials: int = 25) -> str:
+def main(n_trials: int = 25, max_workers: int | None = None) -> str:
     """Run and render the Figure-13 reproduction."""
-    figure = run_fig13(n_trials=n_trials)
+    figure = run_fig13(n_trials=n_trials, max_workers=max_workers)
     table = render_table(
         figure_rows(figure),
         title="Figure 13: orientation estimation (node at 2 m)",

@@ -49,6 +49,7 @@ def run_fig14(
     bit_rate_bps: float = 2e6,
     n_bits: int = 256,
     seed: int = 14,
+    max_workers: int | None = None,
 ) -> DownlinkFigure:
     """Sweep distance, measuring node-side SINR per trial."""
 
@@ -58,7 +59,7 @@ def run_fig14(
         bits = rng.integers(0, 2, n_bits)
         return sim.simulate_downlink(bits, bit_rate_bps).sinr_db
 
-    points = run_sweep(distances_m, trial, n_trials, seed)
+    points = run_sweep(distances_m, trial, n_trials, seed, max_workers=max_workers)
     return DownlinkFigure(
         sinr_points=points,
         max_downlink_rate_bps=NodeConfig().max_downlink_bit_rate_bps(),
@@ -80,9 +81,9 @@ def figure_rows(figure: DownlinkFigure) -> list[dict[str, object]]:
 
 
 @obs.traced("experiment.fig14", count="experiment.runs", experiment="fig14")
-def main(n_trials: int = 10) -> str:
+def main(n_trials: int = 10, max_workers: int | None = None) -> str:
     """Run and render the Figure-14 reproduction."""
-    figure = run_fig14(n_trials=n_trials)
+    figure = run_fig14(n_trials=n_trials, max_workers=max_workers)
     table = render_table(
         figure_rows(figure),
         title="Figure 14: downlink SINR vs distance (paper: >12 dB at 10 m)",

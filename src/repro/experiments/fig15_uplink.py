@@ -57,6 +57,7 @@ def _snr_sweep(
     orientation_deg: float,
     n_bits: int,
     seed: int,
+    max_workers: int | None = None,
 ) -> list[SweepPoint]:
     def trial(distance: float, rng: np.random.Generator) -> float:
         scene = Scene2D.single_node(distance, orientation_deg=orientation_deg)
@@ -64,7 +65,7 @@ def _snr_sweep(
         bits = rng.integers(0, 2, n_bits)
         return sim.simulate_uplink(bits, bit_rate_bps).snr_db
 
-    return run_sweep(distances_m, trial, n_trials, seed)
+    return run_sweep(distances_m, trial, n_trials, seed, max_workers=max_workers)
 
 
 def run_fig15(
@@ -72,14 +73,17 @@ def run_fig15(
     orientation_deg: float = 10.0,
     n_bits: int = 256,
     seed: int = 15,
+    max_workers: int | None = None,
 ) -> UplinkFigure:
     """Both panels."""
     return UplinkFigure(
         snr_10mbps=_snr_sweep(
-            DISTANCES_10MBPS_M, 10e6, n_trials, orientation_deg, n_bits, seed
+            DISTANCES_10MBPS_M, 10e6, n_trials, orientation_deg, n_bits, seed,
+            max_workers=max_workers,
         ),
         snr_40mbps=_snr_sweep(
-            DISTANCES_40MBPS_M, 40e6, n_trials, orientation_deg, n_bits, seed + 1
+            DISTANCES_40MBPS_M, 40e6, n_trials, orientation_deg, n_bits, seed + 1,
+            max_workers=max_workers,
         ),
         max_uplink_rate_bps=NodeConfig().max_uplink_bit_rate_bps(),
     )
@@ -103,9 +107,9 @@ def figure_rows(figure: UplinkFigure) -> list[dict[str, object]]:
 
 
 @obs.traced("experiment.fig15", count="experiment.runs", experiment="fig15")
-def main(n_trials: int = 10) -> str:
+def main(n_trials: int = 10, max_workers: int | None = None) -> str:
     """Run and render the Figure-15 reproduction."""
-    figure = run_fig15(n_trials=n_trials)
+    figure = run_fig15(n_trials=n_trials, max_workers=max_workers)
     table = render_table(
         figure_rows(figure),
         title="Figure 15: uplink SNR vs distance",

@@ -14,6 +14,7 @@ from repro.lint.rules.ml004_errors import ErrorHierarchyRule
 from repro.lint.rules.ml005_mutable_defaults import MutableDefaultRule
 from repro.lint.rules.ml006_all import DunderAllRule
 from repro.lint.rules.ml007_print import BarePrintRule
+from repro.lint.rules.ml008_parallel import ConcurrencyImportRule
 
 __all__ = [
     "LegacyNumpyRandomRule",
@@ -23,4 +24,5 @@ __all__ = [
     "MutableDefaultRule",
     "DunderAllRule",
     "BarePrintRule",
+    "ConcurrencyImportRule",
 ]

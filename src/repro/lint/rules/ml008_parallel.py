@@ -1,0 +1,90 @@
+"""ML008 — process pools go through :mod:`repro.parallel`.
+
+``parallel_map`` owns the repo's determinism contract: fork-inherited
+closures, pre-spawned RNG streams shipped to workers, and worker obs
+deltas merged back into the parent registry.  A module that imports
+``multiprocessing`` or ``concurrent.futures`` directly sidesteps all
+three — its results can drift from the serial run and its metrics and
+spans silently vanish.  The fix is to call
+:func:`repro.parallel.parallel_map`; genuinely low-level code (the
+executor itself) lives under ``repro/parallel/`` where this rule does
+not apply, and anything else can justify itself with
+``# milback: disable=ML008``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleContext, Rule, register
+
+__all__ = ["ConcurrencyImportRule", "RESTRICTED_MODULES"]
+
+#: Top-level modules whose import is reserved for ``repro/parallel/``.
+RESTRICTED_MODULES: frozenset[str] = frozenset({"multiprocessing", "concurrent"})
+
+
+def _is_executor_module(path: str) -> bool:
+    """True for files inside the ``repro/parallel/`` package itself."""
+    parts = PurePath(path).parts
+    for i in range(len(parts) - 1):
+        if parts[i] == "repro" and parts[i + 1] == "parallel":
+            return True
+    return False
+
+
+def _restricted(module_name: str | None) -> str | None:
+    """The offending top-level module, or None when the import is fine.
+
+    ``concurrent`` only matters for its ``futures`` subpackage —
+    ``concurrent.futures``, ``concurrent.futures.process`` and friends
+    all resolve to the same pool machinery.
+    """
+    if not module_name:
+        return None
+    top = module_name.split(".", 1)[0]
+    if top == "multiprocessing":
+        return "multiprocessing"
+    if top == "concurrent":
+        return "concurrent.futures"
+    return None
+
+
+@register
+class ConcurrencyImportRule(Rule):
+    rule_id = "ML008"
+    name = "parallel-via-executor"
+    description = (
+        "multiprocessing / concurrent.futures may only be imported inside "
+        "repro/parallel/; everything else uses repro.parallel.parallel_map "
+        "so determinism and obs merging are preserved."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _is_executor_module(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    offender = _restricted(alias.name)
+                    if offender is not None:
+                        yield module.finding(
+                            self,
+                            node,
+                            f"direct import of {offender}; use "
+                            "repro.parallel.parallel_map (or move the code "
+                            "under repro/parallel/)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                # Relative imports (level > 0) cannot reach the stdlib.
+                offender = _restricted(node.module) if node.level == 0 else None
+                if offender is not None:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"direct import from {offender}; use "
+                        "repro.parallel.parallel_map (or move the code "
+                        "under repro/parallel/)",
+                    )

@@ -136,6 +136,46 @@ class Histogram:
             self._max = max(self._max, value)
             self._bucket_counts[self._bucket_index(value)] += 1
 
+    def merge_dump(self, dump: Mapping[str, object]) -> None:
+        """Fold another histogram's :meth:`dump` into this one.
+
+        Both histograms must share the same bucket ladder — merging
+        across different ladders would silently misbin, so it raises.
+        """
+        bounds = tuple(float(b) for b in dump["bounds"])  # type: ignore[arg-type]
+        if bounds != self._bounds:
+            raise ConfigurationError(
+                f"histogram {self.name!r}: cannot merge across different "
+                f"bucket ladders ({len(bounds)} vs {len(self._bounds)} bounds)"
+            )
+        counts = list(dump["bucket_counts"])  # type: ignore[arg-type]
+        with self._lock:
+            self._count += int(dump["count"])  # type: ignore[arg-type]
+            self._sum += float(dump["sum"])  # type: ignore[arg-type]
+            if dump["min"] is not None:
+                self._min = min(self._min, float(dump["min"]))  # type: ignore[arg-type]
+            if dump["max"] is not None:
+                self._max = max(self._max, float(dump["max"]))  # type: ignore[arg-type]
+            for i, extra in enumerate(counts):
+                self._bucket_counts[i] += int(extra)
+
+    def dump(self) -> dict[str, object]:
+        """Lossless internal state, suitable for :meth:`merge_dump`.
+
+        Unlike :meth:`to_dict` (a human/JSON view with derived
+        percentiles and empty buckets elided), this carries the raw
+        bucket counts so a merge is exact.
+        """
+        with self._lock:
+            return {
+                "bounds": list(self._bounds),
+                "bucket_counts": list(self._bucket_counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": None if self._count == 0 else self._min,
+                "max": None if self._count == 0 else self._max,
+            }
+
     def _bucket_index(self, value: float) -> int:
         lo, hi = 0, len(self._bounds)
         while lo < hi:  # first bound >= value (bisect_left on upper bounds)
@@ -261,6 +301,57 @@ class MetricsRegistry:
     def snapshot(self) -> dict[str, dict[str, object]]:
         """JSON-ready view of every metric, keyed by flat key."""
         return {key: metric.to_dict() for key, metric in self.items()}
+
+    # --- cross-process state transfer -------------------------------------------
+
+    def dump_state(self) -> dict[str, dict[str, object]]:
+        """Lossless, picklable state of every metric.
+
+        This is the wire format :mod:`repro.parallel` workers return to
+        the parent: unlike :meth:`snapshot` it keeps histogram bucket
+        counts exact, so :meth:`merge_state` reproduces precisely the
+        registry a serial run would have built.
+        """
+        state: dict[str, dict[str, object]] = {}
+        for key, metric in self.items():
+            entry: dict[str, object] = {"name": metric.name, "labels": dict(metric.labels)}
+            if isinstance(metric, Counter):
+                entry["kind"] = "counter"
+                entry["value"] = metric.value
+            elif isinstance(metric, Gauge):
+                entry["kind"] = "gauge"
+                entry["value"] = metric.value
+            else:
+                entry["kind"] = "histogram"
+                entry["data"] = metric.dump()
+            state[key] = entry
+        return state
+
+    def merge_state(self, state: Mapping[str, Mapping[str, object]]) -> None:
+        """Fold a :meth:`dump_state` delta from another registry into this one.
+
+        Counters add, histograms merge bucket-exactly, gauges take the
+        incoming value (last write wins — matching what interleaved
+        serial execution would have left behind).
+        """
+        for entry in state.values():
+            name = str(entry["name"])
+            labels = {str(k): str(v) for k, v in dict(entry["labels"]).items()}  # type: ignore[arg-type]
+            kind = entry["kind"]
+            if kind == "counter":
+                amount = float(entry["value"])  # type: ignore[arg-type]
+                if amount > 0:
+                    self.counter(name, **labels).inc(amount)
+                else:
+                    self.counter(name, **labels)  # materialize zero-valued counters
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(float(entry["value"]))  # type: ignore[arg-type]
+            elif kind == "histogram":
+                data = entry["data"]
+                bounds = tuple(float(b) for b in data["bounds"])  # type: ignore[index]
+                self.histogram(name, buckets=bounds, **labels).merge_dump(data)  # type: ignore[arg-type]
+            else:
+                raise ConfigurationError(f"unknown metric kind {kind!r} in state dump")
 
     def reset(self) -> None:
         """Drop every metric (used between CLI runs and in tests)."""

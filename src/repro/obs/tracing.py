@@ -20,7 +20,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -171,6 +171,7 @@ class Tracer:
         name: str,
         sim_time_s: float | None = None,
         index: int | None = None,
+        wall_s: float | None = None,
         **meta: Any,
     ) -> TraceEvent:
         """Record an instantaneous event under the current span (if any).
@@ -178,7 +179,8 @@ class Tracer:
         ``index`` is the source's own ordering index (e.g. the protocol
         :class:`~repro.protocol.events.EventLog` position); when absent
         the tracer assigns the next global event index so interleaved
-        streams still sort stably.
+        streams still sort stably. ``wall_s`` overrides the timestamp —
+        used when absorbing events recorded on another timeline.
         """
         with self._lock:
             if index is None:
@@ -187,7 +189,7 @@ class Tracer:
             parent = self._open.stack[-1] if self._open.stack else None
             record = TraceEvent(
                 name=name,
-                wall_s=time.perf_counter(),
+                wall_s=time.perf_counter() if wall_s is None else wall_s,
                 index=index,
                 span_id=parent.span_id if parent else None,
                 sim_time_s=sim_time_s,
@@ -196,6 +198,88 @@ class Tracer:
             if len(self._events) < MAX_EVENTS:
                 self._events.append(record)
         return record
+
+    # --- cross-process absorption ----------------------------------------------------
+
+    def detach_open_spans(self) -> None:
+        """Forget the calling thread's inherited open-span stack.
+
+        A forked :mod:`repro.parallel` worker inherits the parent's open
+        spans (``cli.run`` → ``experiment.*`` …) by copy-on-write; new
+        worker spans must not claim those stale ids as parents, so the
+        worker calls this once before running its first chunk.
+        """
+        self._open.stack.clear()
+
+    def absorb_spans(
+        self,
+        span_dicts: Sequence[dict[str, Any]],
+        offset_s: float = 0.0,
+        **meta_extra: Any,
+    ) -> None:
+        """Append finished spans recorded by another tracer (a worker).
+
+        Spans get fresh ids; parent links *within* the batch are
+        preserved, and batch roots are re-parented under the caller's
+        current open span so the merged trace stays a single tree (and
+        ``repro.obs.check`` finds no orphan parent ids). ``offset_s``
+        rebases the foreign ``perf_counter`` timeline onto the local one
+        — durations are exact, absolute placement is the dispatch time.
+
+        Deliberately does **not** feed the metrics registry: the worker's
+        own registry delta already carries the ``span.*.duration_s``
+        histograms, so re-observing here would double-count.
+        """
+        current = self.current_span()
+        base_depth = current.depth + 1 if current is not None else 0
+        batch = sorted(span_dicts, key=lambda d: int(d["span_id"]))
+        min_depth = min((int(d["depth"]) for d in batch), default=0)
+        id_map: dict[int, int] = {}
+        with self._lock:
+            for d in batch:
+                new_id = self._next_id
+                self._next_id += 1
+                id_map[int(d["span_id"])] = new_id
+                old_parent = d.get("parent_id")
+                if old_parent is not None and int(old_parent) in id_map:
+                    parent_id: int | None = id_map[int(old_parent)]
+                else:
+                    parent_id = current.span_id if current is not None else None
+                record = Span(
+                    name=str(d["name"]),
+                    span_id=new_id,
+                    parent_id=parent_id,
+                    depth=base_depth + int(d["depth"]) - min_depth,
+                    start_s=float(d["start_s"]) + offset_s,
+                    meta={**dict(d.get("meta") or {}), **meta_extra},
+                    end_s=(
+                        float(d["end_s"]) + offset_s
+                        if d.get("end_s") is not None
+                        else float(d["start_s"]) + offset_s
+                    ),
+                    error=d.get("error"),
+                )
+                if len(self._finished) < MAX_FINISHED_SPANS:
+                    self._finished.append(record)
+
+    def absorb_events(
+        self,
+        event_dicts: Sequence[dict[str, Any]],
+        offset_s: float = 0.0,
+        **meta_extra: Any,
+    ) -> None:
+        """Append point events recorded by another tracer (a worker).
+
+        Events are re-indexed locally (the worker's indices would collide
+        with the parent's) and attached to the caller's current span.
+        """
+        for d in event_dicts:
+            self.add_event(
+                str(d["name"]),
+                sim_time_s=d.get("sim_time_s"),
+                wall_s=float(d["wall_s"]) + offset_s,
+                **{**dict(d.get("meta") or {}), **meta_extra},
+            )
 
     # --- views ---------------------------------------------------------------------
 

@@ -1,0 +1,214 @@
+"""The process-pool sweep executor.
+
+Execution model
+---------------
+
+``parallel_map(fn, items)`` splits ``items`` into contiguous chunks and
+runs each chunk in a forked worker process. Workers are forked, not
+spawned, for one load-bearing reason: sweep trial functions are closures
+over experiment parameters (scene geometry, bit rates, …) and closures
+cannot cross a pickle boundary — but a forked child inherits them by
+copy-on-write through the module global :data:`_WORKER_FN`. Item
+payloads (parameters and ``numpy.random.Generator`` streams) *are*
+pickled, which preserves RNG state exactly.
+
+Each worker chunk opens a fresh observation window (`obs.reset()` plus
+:meth:`~repro.obs.tracing.Tracer.detach_open_spans`), runs its tasks,
+and returns ``(values, registry state, finished spans, events, t0)``.
+The parent merges every chunk's registry delta and absorbs its spans —
+rebased onto the parent timeline at the chunk's dispatch instant — so
+one ``metrics.json``/trace describes the whole run no matter where the
+work happened.
+
+Failure model: exceptions raised by ``fn`` propagate to the caller
+exactly as in a serial loop. Pool *infrastructure* failures (fork
+unavailable, pool refuses to start, workers die) instead trigger a
+serial in-process fallback — deterministic because the parent's RNG
+copies were never advanced — and bump ``parallel.fallbacks``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro import obs
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_WORKERS_ENV",
+    "ParallelResult",
+    "parallel_map",
+    "resolve_max_workers",
+]
+
+#: Environment variable consulted when ``max_workers`` is not given.
+DEFAULT_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+#: The chunk fan-out per worker: enough chunks that an uneven trial mix
+#: load-balances, few enough that per-chunk overhead stays negligible.
+_CHUNKS_PER_WORKER = 4
+
+# Fork-inherited worker state. The parent sets _WORKER_FN immediately
+# before creating the pool; forked children see it by copy-on-write.
+_WORKER_FN: Callable[[Any], Any] | None = None
+_IN_WORKER = False
+
+
+def resolve_max_workers(max_workers: int | None) -> int:
+    """Turn the user-facing knob into an effective worker count.
+
+    ``None`` defers to ``$REPRO_MAX_WORKERS`` (absent/empty → 1, the
+    serial default); ``0`` or negative means "all cores". Inside a
+    worker process the answer is always 1 — nested pools would
+    oversubscribe and gain nothing.
+    """
+    if _IN_WORKER:
+        return 1
+    if max_workers is None:
+        raw = os.environ.get(DEFAULT_WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            max_workers = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"${DEFAULT_WORKERS_ENV}={raw!r} is not an integer"
+            ) from None
+    if max_workers <= 0:
+        return os.cpu_count() or 1
+    return int(max_workers)
+
+
+@dataclass(frozen=True)
+class ParallelResult:
+    """Outcome of one :func:`parallel_map` call."""
+
+    values: list[Any]
+    workers: int
+    n_chunks: int
+    #: None when the pool ran; otherwise why execution fell back to serial.
+    fallback_reason: str | None = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.fallback_reason is None and self.workers > 1
+
+
+def _chunk_indices(n_items: int, workers: int, chunk_size: int | None) -> list[range]:
+    """Contiguous index ranges covering ``range(n_items)`` in order."""
+    if chunk_size is None:
+        chunk_size = max(1, -(-n_items // (workers * _CHUNKS_PER_WORKER)))
+    if chunk_size < 1:
+        raise ConfigurationError("chunk_size must be at least 1")
+    return [range(lo, min(lo + chunk_size, n_items)) for lo in range(0, n_items, chunk_size)]
+
+
+def _run_chunk(payloads: list[Any]) -> tuple[list[Any], dict, list[dict], list[dict], float]:
+    """Worker side: run one chunk and package results + obs delta."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    fn = _WORKER_FN
+    if fn is None:  # pragma: no cover - indicates a non-fork pool misuse
+        raise ConfigurationError("worker has no inherited trial function")
+    # Fresh observation window: drop everything inherited from the
+    # parent at fork time so the returned delta covers exactly this chunk.
+    obs.reset()
+    obs.get_tracer().detach_open_spans()
+    t0 = time.perf_counter()
+    values = [fn(payload) for payload in payloads]
+    state = obs.get_registry().dump_state()
+    spans = [s.to_dict() for s in obs.get_tracer().finished_spans()]
+    events = [e.to_dict() for e in obs.get_tracer().events()]
+    return values, state, spans, events, t0
+
+
+def _serial_fallback(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    workers: int,
+    reason: str,
+) -> ParallelResult:
+    obs.counter("parallel.fallbacks", reason=reason).inc()
+    return ParallelResult(
+        values=[fn(item) for item in items],
+        workers=1,
+        n_chunks=0,
+        fallback_reason=reason,
+    )
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
+) -> ParallelResult:
+    """Run ``fn`` over ``items`` on a process pool, preserving order.
+
+    Results come back in item order regardless of which worker finished
+    first, worker obs metrics/spans are merged into the parent, and any
+    infrastructure failure degrades to an in-process serial loop. ``fn``
+    may be a closure; ``items`` must be picklable (RNG generators are).
+    """
+    global _WORKER_FN
+    items = list(items)
+    workers = resolve_max_workers(max_workers)
+    if workers <= 1 or len(items) <= 1:
+        # Intentional serial execution, not a degradation — no fallback
+        # counter, so parallel.fallbacks only ever flags real failures.
+        return ParallelResult(
+            values=[fn(item) for item in items],
+            workers=1,
+            n_chunks=0,
+            fallback_reason="serial",
+        )
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return _serial_fallback(fn, items, workers, reason="no-fork")
+
+    chunks = _chunk_indices(len(items), workers, chunk_size)
+    workers = min(workers, len(chunks))
+    obs.gauge("parallel.workers").set(workers)
+    obs.counter("parallel.maps").inc()
+    obs.counter("parallel.tasks").inc(len(items))
+    obs.counter("parallel.chunks").inc(len(chunks))
+
+    _WORKER_FN = fn
+    try:
+        with obs.span("parallel.map", tasks=len(items), workers=workers):
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+            except (OSError, ValueError) as exc:
+                return _serial_fallback(fn, items, workers, reason=type(exc).__name__)
+            try:
+                futures = []
+                dispatch_s = []
+                for chunk in chunks:
+                    dispatch_s.append(time.perf_counter())
+                    futures.append(pool.submit(_run_chunk, [items[i] for i in chunk]))
+                values: list[Any] = []
+                for future, dispatched in zip(futures, dispatch_s):
+                    chunk_values, state, spans, events, t0 = future.result()
+                    values.extend(chunk_values)
+                    offset = dispatched - t0
+                    obs.get_registry().merge_state(state)
+                    obs.get_tracer().absorb_spans(spans, offset_s=offset)
+                    obs.get_tracer().absorb_events(events, offset_s=offset)
+            except (BrokenProcessPool, OSError) as exc:
+                # Workers died underneath us (OOM killer, container limits).
+                # The parent's RNG copies were never advanced, so the serial
+                # re-run is bit-identical to what the pool would have produced.
+                pool.shutdown(wait=False, cancel_futures=True)
+                return _serial_fallback(fn, items, workers, reason=type(exc).__name__)
+            pool.shutdown()
+    finally:
+        _WORKER_FN = None
+    return ParallelResult(values=values, workers=workers, n_chunks=len(chunks))

@@ -31,6 +31,7 @@ from repro.dsp.signal import Signal
 from repro.errors import ConfigurationError
 from repro.node.node import BackscatterNode
 from repro.phy.ber import measure_ber
+from repro.sim import cache as simcache
 from repro.sim.calibration import Calibration, default_calibration
 from repro.sim.linkbudget import LinkBudget
 from repro.utils.rng import RngLike, make_rng
@@ -172,6 +173,12 @@ class MilBackSimulator:
         # baseline phase-center offset.
         self._slope_error = float(self.rng.normal(0.0, cal.slope_error_sigma))
         self._aoa_bias_deg = float(self.rng.normal(0.0, cal.aoa_bias_sigma_deg))
+        # Per-instance memos for quantities that mix the instance's own
+        # ripple realization with scene-invariant terms; keyed by
+        # (kind, port, grid key). The cross-instance RNG-free pieces live
+        # in repro.sim.cache.
+        self._ripple_interp: dict[tuple, np.ndarray] = {}
+        self._amplitude_memo: dict[tuple, np.ndarray] = {}
         self.budget = LinkBudget(
             scene=scene,
             fsa=self.node.fsa,
@@ -186,7 +193,12 @@ class MilBackSimulator:
 
     # --- FSA gain ripple ------------------------------------------------------------
 
-    def _gain_ripple_db(self, port: str, freqs_hz: np.ndarray) -> np.ndarray:
+    def _gain_ripple_db(
+        self,
+        port: str,
+        freqs_hz: np.ndarray,
+        grid_key: tuple | None = None,
+    ) -> np.ndarray:
         """Slowly varying random gain ripple across the band for one port.
 
         Drawn once per simulator instance (one physical measurement run):
@@ -194,10 +206,19 @@ class MilBackSimulator:
         linearly interpolated. Models fabrication tolerance and residual
         multipath standing waves — the error floor of the paper's
         orientation experiments.
+
+        The control points come from the trial RNG, so they can never be
+        shared across instances — but the interpolation onto a named
+        frequency grid is memoized per ``(port, grid_key)`` within this
+        instance (the grid never changes between bursts of one run).
         """
         cal = self.calibration
         if cal.fsa_gain_ripple_db <= 0:
             return np.zeros_like(np.asarray(freqs_hz, dtype=float))
+        if grid_key is not None:
+            cached = self._ripple_interp.get((port, grid_key))
+            if cached is not None:
+                return cached
         if not hasattr(self, "_ripple_tables"):
             self._ripple_tables = {}
         if port not in self._ripple_tables:
@@ -208,17 +229,47 @@ class MilBackSimulator:
             ctrl_v = cal.fsa_gain_ripple_db * self.rng.standard_normal(n_ctrl)
             self._ripple_tables[port] = (ctrl_f, ctrl_v)
         ctrl_f, ctrl_v = self._ripple_tables[port]
-        return np.interp(np.asarray(freqs_hz, dtype=float), ctrl_f, ctrl_v)
+        ripple = np.interp(np.asarray(freqs_hz, dtype=float), ctrl_f, ctrl_v)
+        if grid_key is not None:
+            ripple = simcache.frozen_array(ripple)
+            self._ripple_interp[(port, grid_key)] = ripple
+        return ripple
 
     # --- vectorized budget helpers ------------------------------------------------
 
-    def _backscatter_amplitude(self, port: str, freqs_hz: np.ndarray) -> np.ndarray:
+    def _backscatter_amplitude(
+        self,
+        port: str,
+        freqs_hz: np.ndarray,
+        grid: simcache.ChirpGrid | None = None,
+    ) -> np.ndarray:
         """Field gain of the node's reflection across frequencies.
 
         Frequency-resolved version of
         :meth:`LinkBudget.backscatter_gain_db` (the FSA gain sweeps with
-        the chirp, everything else is flat across the band).
+        the chirp, everything else is flat across the band). With a
+        ``grid``, the flat budget scalar and FSA sweep come from the
+        scene-invariant caches and the full array is memoized for this
+        instance.
         """
+        if grid is not None:
+            cached = self._amplitude_memo.get(("backscatter", port, grid.key))
+            if cached is not None:
+                return cached
+            flat_db = simcache.backscatter_gain_db(self.budget, port, grid.mean_hz)
+            fsa_flat = float(
+                self.node.fsa.gain_dbi(
+                    port, self.budget.node_orientation_deg(), grid.mean_hz
+                )
+            )
+            fsa_sweep = simcache.fsa_gain_sweep(
+                self.node.fsa, port, self.budget.node_orientation_deg(), grid
+            )
+            ripple = self._gain_ripple_db(port, grid.f_inst, grid_key=grid.key)
+            gain_db = flat_db + 2.0 * (fsa_sweep - fsa_flat) + 2.0 * ripple
+            amplitude = simcache.frozen_array(np.power(10.0, gain_db / 20.0))
+            self._amplitude_memo[("backscatter", port, grid.key)] = amplitude
+            return amplitude
         flat_db = self.budget.backscatter_gain_db(port, float(np.mean(freqs_hz)))
         fsa_flat = float(
             self.node.fsa.gain_dbi(
@@ -233,8 +284,31 @@ class MilBackSimulator:
         gain_db = gain_db + 2.0 * self._gain_ripple_db(port, freqs_hz)
         return np.power(10.0, gain_db / 20.0)
 
-    def _downlink_amplitude(self, port: str, freqs_hz: np.ndarray) -> np.ndarray:
+    def _downlink_amplitude(
+        self,
+        port: str,
+        freqs_hz: np.ndarray,
+        grid: simcache.ChirpGrid | None = None,
+    ) -> np.ndarray:
         """Field gain into one FSA port's detector across frequencies."""
+        if grid is not None:
+            cached = self._amplitude_memo.get(("downlink", port, grid.key))
+            if cached is not None:
+                return cached
+            flat_db = simcache.downlink_port_gain_db(self.budget, port, grid.mean_hz)
+            fsa_flat = float(
+                self.node.fsa.gain_dbi(
+                    port, self.budget.node_orientation_deg(), grid.mean_hz
+                )
+            )
+            fsa_sweep = simcache.fsa_gain_sweep(
+                self.node.fsa, port, self.budget.node_orientation_deg(), grid
+            )
+            ripple = self._gain_ripple_db(port, grid.f_inst, grid_key=grid.key)
+            gain_db = flat_db + (fsa_sweep - fsa_flat) + ripple
+            amplitude = simcache.frozen_array(np.power(10.0, gain_db / 20.0))
+            self._amplitude_memo[("downlink", port, grid.key)] = amplitude
+            return amplitude
         flat_db = self.budget.downlink_port_gain_db(port, float(np.mean(freqs_hz)))
         fsa_flat = float(
             self.node.fsa.gain_dbi(
@@ -282,9 +356,12 @@ class MilBackSimulator:
         n_chirps = n_chirps or cfg.n_ranging_chirps
         obs.counter("engine.chirps.synthesized").inc(n_chirps)
         fs_hz = cfg.beat_sample_rate_hz
-        n = int(round(chirp.duration_s * fs_hz))
-        t = np.arange(n) / fs_hz
-        f_inst = chirp.instantaneous_frequency_hz(t)
+        # Scene-invariant pieces (time grid, static clutter field, FSA
+        # amplitude sweep) come from repro.sim.cache — computed once per
+        # scene configuration, reused by every chirp of every trial.
+        grid = simcache.chirp_grid(chirp, fs_hz)
+        n = grid.n
+        t = grid.t
         slope_hz_per_s = chirp.slope_hz_per_s
         lam = SPEED_OF_LIGHT / chirp.center_hz
         baseline_m = cfg.rx_baseline_m
@@ -293,7 +370,6 @@ class MilBackSimulator:
         if n_rx_antennas < 1:
             raise ConfigurationError("need at least one RX antenna")
         # Static paths: clutter + self-interference (identical every chirp).
-        static = [np.zeros(n, dtype=np.complex128) for _ in range(n_rx_antennas)]
         node_azimuth = self.budget.node_azimuth_deg()
         pointing = node_azimuth if steer_azimuth_deg is None else steer_azimuth_deg
         # Horn roll-off on the node's two-way path when the scan is not
@@ -306,18 +382,14 @@ class MilBackSimulator:
             - self.ap.config.rx_horn.peak_gain_dbi
         )
         steer_factor = 10.0 ** (horn_rolloff_db / 20.0)
-        for path in self.budget.clutter_paths(chirp.center_hz, pointing) + [
-            self.budget.self_interference_path()
-        ]:
-            beat = slope_hz_per_s * path.delay_s
-            phase0 = 2.0 * math.pi * chirp.start_hz * path.delay_s
-            tone_shape = path.amplitude * sqrt_ptx * np.exp(
-                1j * (2.0 * math.pi * beat * t + phase0)
-            )
-            azimuth = self._path_azimuth(path.label)
-            unit_phase = 2.0 * math.pi * baseline_m * math.sin(math.radians(azimuth)) / lam
-            for m in range(n_rx_antennas):
-                static[m] += tone_shape * np.exp(1j * m * unit_phase)
+        static = simcache.static_beat_field(
+            self.budget,
+            grid,
+            pointing,
+            n_rx_antennas,
+            baseline_m,
+            self._path_azimuth,
+        )
 
         # Node path: FSA-shaped amplitude, toggled per chirp.
         ports = {"both": (FsaPort.A, FsaPort.B), "A": (FsaPort.A,), "B": (FsaPort.B,)}
@@ -332,7 +404,7 @@ class MilBackSimulator:
         node_tone = np.exp(1j * (2.0 * math.pi * node_beat * t + node_phase0))
         node_shape = np.zeros(n, dtype=np.complex128)
         for port in ports[toggled_port]:
-            node_shape += self._backscatter_amplitude(port, f_inst) * node_tone
+            node_shape += self._backscatter_amplitude(port, grid.f_inst, grid=grid) * node_tone
         node_shape *= sqrt_ptx * steer_factor
 
         # Mirror-image reflection of the FSA ground plane (Fig. 13b
@@ -587,8 +659,7 @@ class MilBackSimulator:
         """
         chirp = self.ap.config.field1_chirp
         n = int(round(n_chirps * chirp.duration_s * sim_rate_hz))
-        t = np.arange(n) / sim_rate_hz
-        f_inst = chirp.instantaneous_frequency_hz(t)
+        grid = simcache.chirp_grid(chirp, sim_rate_hz, n)
         sqrt_ptx = math.sqrt(self.budget.tx_power_w())
         traces = {}
         adc_streams = {}
@@ -596,7 +667,7 @@ class MilBackSimulator:
             (FsaPort.A, self.node.config.detector_a),
             (FsaPort.B, self.node.config.detector_b),
         ):
-            amplitude = sqrt_ptx * self._downlink_amplitude(port, f_inst)
+            amplitude = sqrt_ptx * self._downlink_amplitude(port, grid.f_inst, grid=grid)
             rf = Signal(amplitude.astype(np.complex128), sim_rate_hz, 0.0, 0.0)
             video = detector.detect(rf, rng=self.rng)
             adc_streams[port] = self.node.config.mcu.sample_detector(video)
@@ -632,8 +703,7 @@ class MilBackSimulator:
         chirp = self.ap.config.field1_chirp
         slot_s = chirp.duration_s
         n_slot = int(round(slot_s * sim_rate_hz))
-        t = np.arange(n_slot) / sim_rate_hz
-        f_inst = chirp.instantaneous_frequency_hz(t)
+        grid = simcache.chirp_grid(chirp, sim_rate_hz, n_slot)
         sqrt_ptx = math.sqrt(self.budget.tx_power_w())
         active = (True, True, True) if announce_uplink else (True, False, True)
         streams = []
@@ -641,7 +711,7 @@ class MilBackSimulator:
             (FsaPort.A, self.node.config.detector_a),
             (FsaPort.B, self.node.config.detector_b),
         ):
-            amp_one = sqrt_ptx * self._downlink_amplitude(port, f_inst)
+            amp_one = sqrt_ptx * self._downlink_amplitude(port, grid.f_inst, grid=grid)
             pieces = [amp_one if on else np.zeros(n_slot) for on in active]
             amplitude = np.concatenate(pieces)
             rf = Signal(amplitude.astype(np.complex128), sim_rate_hz, 0.0, 0.0)
@@ -695,7 +765,7 @@ class MilBackSimulator:
 
         amp = {
             (port, f): sqrt_tone_power
-            * 10.0 ** (self.budget.downlink_port_gain_db(port, f) / 20.0)
+            * 10.0 ** (simcache.downlink_port_gain_db(self.budget, port, f) / 20.0)
             for port in (FsaPort.A, FsaPort.B)
             for f in (pair.freq_a_hz, pair.freq_b_hz)
         }
@@ -777,7 +847,7 @@ class MilBackSimulator:
         sqrt_tone_power = math.sqrt(self.budget.tx_power_w() / 2.0)
         amp = {
             (port, f): sqrt_tone_power
-            * 10.0 ** (self.budget.downlink_port_gain_db(port, f) / 20.0)
+            * 10.0 ** (simcache.downlink_port_gain_db(self.budget, port, f) / 20.0)
             for port in (FsaPort.A, FsaPort.B)
             for f in (pair.freq_a_hz, pair.freq_b_hz)
         }
@@ -831,7 +901,7 @@ class MilBackSimulator:
         gate = np.repeat(bits.astype(float), samples_per_symbol)
         sqrt_ptx = math.sqrt(self.budget.tx_power_w())
         amp_a = sqrt_ptx * 10.0 ** (
-            self.budget.downlink_port_gain_db(FsaPort.A, carrier_hz) / 20.0
+            simcache.downlink_port_gain_db(self.budget, FsaPort.A, carrier_hz) / 20.0
         )
         rf = Signal((gate * amp_a).astype(np.complex128), sim_rate, 0.0, 0.0)
         video = self.node.config.detector_a.detect(rf, rng=self.rng)
@@ -900,7 +970,7 @@ class MilBackSimulator:
             (FsaPort.B, gates.gate_b, pair.freq_b_hz),
         ):
             amp = sqrt_tone_power * 10.0 ** (
-                self.budget.backscatter_gain_db(port, freq) / 20.0
+                simcache.backscatter_gain_db(self.budget, port, freq) / 20.0
             )
             phase = self.rng.uniform(0.0, 2.0 * math.pi)
             # Per-symbol multiplicative noise (correlated within a symbol).

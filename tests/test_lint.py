@@ -32,7 +32,10 @@ def rule_ids(findings):
 class TestEngine:
     def test_all_rules_registered(self):
         ids = [cls.rule_id for cls in all_rules()]
-        assert ids == ["ML001", "ML002", "ML003", "ML004", "ML005", "ML006", "ML007"]
+        assert ids == [
+            "ML001", "ML002", "ML003", "ML004",
+            "ML005", "ML006", "ML007", "ML008",
+        ]
 
     def test_get_rule_unknown_id_raises(self):
         with pytest.raises(StaticAnalysisError):
@@ -457,6 +460,59 @@ class TestML007BarePrint:
             return doc
         """
         assert findings_for(source, select=["ML007"]) == []
+
+
+class TestML008ConcurrencyImports:
+    def test_fires_on_multiprocessing_import(self):
+        source = """\
+        __all__ = []
+        import multiprocessing
+        """
+        findings = findings_for(source, select=["ML008"])
+        assert rule_ids(findings) == ["ML008"]
+        assert "repro.parallel" in findings[0].message
+
+    def test_fires_on_concurrent_futures_variants(self):
+        source = """\
+        __all__ = []
+        import concurrent.futures
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+        from multiprocessing import get_context
+        """
+        assert rule_ids(findings_for(source, select=["ML008"])) == ["ML008"] * 4
+
+    def test_silent_inside_repro_parallel(self):
+        source = """\
+        __all__ = []
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+        """
+        path = "src/repro/parallel/executor.py"
+        assert findings_for(source, path=path, select=["ML008"]) == []
+
+    def test_silent_on_unrelated_imports(self):
+        source = """\
+        __all__ = []
+        import threading
+        from concurrency_tools import pool  # different top-level module
+        from repro.parallel import parallel_map
+        """
+        assert findings_for(source, select=["ML008"]) == []
+
+    def test_line_pragma_suppresses(self):
+        source = """\
+        __all__ = []
+        import multiprocessing  # milback: disable=ML008 — CPU-count probe only
+        """
+        assert findings_for(source, select=["ML008"]) == []
+
+    def test_executor_module_itself_is_exempt_on_disk(self):
+        # The real executor imports both restricted modules; the path
+        # carve-out (not a pragma) is what keeps the tree lint-clean.
+        path = SRC_ROOT / "repro" / "parallel" / "executor.py"
+        source = path.read_text(encoding="utf-8")
+        assert lint_source(source, str(path), select=["ML008"]) == []
 
 
 class TestCli:

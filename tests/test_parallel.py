@@ -1,0 +1,231 @@
+"""Tests for :mod:`repro.parallel` — the process-pool sweep executor.
+
+The executor makes three promises (see ``docs/PERFORMANCE.md``):
+
+1. **Bitwise determinism** — a parallel sweep returns exactly the
+   floats a serial sweep returns, because every task carries the same
+   pre-spawned RNG stream either way.
+2. **Observability transparency** — worker metric/span deltas merge
+   into the parent registry, so ``metrics.json`` totals do not depend
+   on where the work ran.
+3. **Graceful degradation** — infrastructure failures fall back to an
+   in-process serial loop with identical results.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.analysis.sweeps import SweepPoint, run_error_sweep, run_sweep
+from repro.errors import ConfigurationError
+from repro.experiments import fig12_localization
+from repro.experiments.coverage_map import run_coverage_map
+from repro.parallel import (
+    DEFAULT_WORKERS_ENV,
+    ParallelResult,
+    parallel_map,
+    resolve_max_workers,
+)
+from repro.parallel.executor import _chunk_indices
+from repro.utils.rng import spawn_rngs
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    """Each test gets (and leaves behind) a clean observation window."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _toy_trial(parameter: float, rng: np.random.Generator) -> float:
+    """Cheap deterministic-per-stream trial with its own obs footprint."""
+    with obs.span("toy.trial", parameter=parameter):
+        obs.counter("toy.trials").inc()
+        draw = float(rng.normal(loc=parameter, scale=1.0))
+        obs.histogram("toy.draw", buckets=(-10.0, 0.0, 10.0)).observe(draw)
+    return draw
+
+
+class TestResolveMaxWorkers:
+    def test_none_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv(DEFAULT_WORKERS_ENV, raising=False)
+        assert resolve_max_workers(None) == 1
+
+    def test_none_reads_environment(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_WORKERS_ENV, "3")
+        assert resolve_max_workers(None) == 3
+
+    def test_zero_means_all_cores(self):
+        assert resolve_max_workers(0) >= 1
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_max_workers(5) == 5
+
+    def test_garbage_environment_raises(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_WORKERS_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            resolve_max_workers(None)
+
+
+class TestChunking:
+    def test_chunks_cover_all_indices_in_order(self):
+        chunks = _chunk_indices(17, workers=4, chunk_size=None)
+        flat = [i for chunk in chunks for i in chunk]
+        assert flat == list(range(17))
+
+    def test_explicit_chunk_size(self):
+        chunks = _chunk_indices(10, workers=2, chunk_size=4)
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_bad_chunk_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            _chunk_indices(10, workers=2, chunk_size=0)
+
+
+class TestParallelMap:
+    def test_preserves_item_order(self):
+        rngs = spawn_rngs(7, 12)
+        tasks = [(float(i), rngs[i]) for i in range(12)]
+        serial = [_toy_trial(p, rng) for p, rng in [(t[0], t[1]) for t in tasks]]
+        obs.reset()
+        rngs = spawn_rngs(7, 12)
+        tasks = [(float(i), rngs[i]) for i in range(12)]
+        result = parallel_map(lambda t: _toy_trial(t[0], t[1]), tasks, max_workers=3)
+        assert result.values == serial
+
+    def test_intentional_serial_has_no_fallback_counter(self):
+        result = parallel_map(lambda x: x * 2, [1, 2, 3], max_workers=1)
+        assert result.values == [2, 4, 6]
+        assert result.fallback_reason == "serial"
+        assert not result.parallel
+        snapshot = obs.get_registry().snapshot()
+        assert not any(key.startswith("parallel.fallbacks") for key in snapshot)
+
+    def test_single_item_runs_serial(self):
+        result = parallel_map(lambda x: x + 1, [41], max_workers=4)
+        assert result.values == [42]
+        assert not result.parallel
+
+    def test_exceptions_propagate_like_serial(self):
+        def boom(x):
+            raise ValueError(f"task {x}")  # milback: disable=ML004 — test payload
+
+        with pytest.raises(ValueError, match="task"):
+            parallel_map(boom, [1, 2, 3, 4], max_workers=2)
+
+    def test_parallel_result_flag(self):
+        result = parallel_map(lambda x: x, list(range(8)), max_workers=2)
+        assert isinstance(result, ParallelResult)
+        assert result.parallel
+        assert result.workers == 2
+        assert result.n_chunks >= 2
+
+
+class TestObsMerge:
+    def test_worker_deltas_reach_parent_registry(self):
+        n = 10
+        rngs = spawn_rngs(3, n)
+        tasks = [(float(i), rngs[i]) for i in range(n)]
+        parallel_map(lambda t: _toy_trial(t[0], t[1]), tasks, max_workers=3)
+        snapshot = obs.get_registry().snapshot()
+        assert snapshot["toy.trials"]["value"] == n
+        assert snapshot["toy.draw"]["count"] == n
+
+    def test_worker_spans_absorbed_without_orphans(self):
+        n = 6
+        rngs = spawn_rngs(4, n)
+        tasks = [(float(i), rngs[i]) for i in range(n)]
+        with obs.span("test.root"):
+            parallel_map(lambda t: _toy_trial(t[0], t[1]), tasks, max_workers=2)
+        spans = obs.get_tracer().finished_spans()
+        toy = [s for s in spans if s.name == "toy.trial"]
+        assert len(toy) == n
+        known_ids = {s.span_id for s in spans}
+        for span in toy:
+            assert span.parent_id in known_ids  # re-parented, never orphaned
+
+    def test_metrics_json_identical_across_modes(self, tmp_path):
+        """The satellite contract: one ``metrics.json``, any worker count.
+
+        Mode-specific bookkeeping (``parallel.*`` scheduling metrics and
+        the pool's own span family) is excluded; every metric produced
+        by the *workload* must agree exactly.
+        """
+
+        def run(workers, path):
+            obs.reset()
+            run_sweep((1.0, 2.0, 3.0), _toy_trial, 4, seed=11, max_workers=workers)
+            obs.write_metrics_json(path, obs.get_registry())
+            document = json.loads(path.read_text(encoding="utf-8"))
+            reduced = {}
+            for key, value in document["metrics"].items():
+                if key.startswith(("parallel.", "span.parallel.")):
+                    continue
+                if value["type"] == "histogram" and key.endswith(".duration_s"):
+                    # Durations are wall-clock valued; the invariant is
+                    # that every observation happened exactly once.
+                    reduced[key] = {"type": "histogram", "count": value["count"]}
+                else:
+                    # Value histograms (e.g. toy.draw) must match
+                    # bucket-for-bucket: the merge is lossless.
+                    reduced[key] = value
+            return reduced
+
+        serial = run(1, tmp_path / "serial.json")
+        parallel = run(4, tmp_path / "parallel.json")
+        assert serial == parallel
+        assert serial["sweep.trials"]["value"] == 12
+        assert serial["toy.trials"]["value"] == 12
+        assert serial["toy.draw"]["count"] == 12
+
+
+class TestSweepDeterminism:
+    def test_run_sweep_bitwise_identical(self):
+        parameters = (0.5, 1.5, 2.5)
+        serial = run_sweep(parameters, _toy_trial, 5, seed=21, max_workers=1)
+        parallel = run_sweep(parameters, _toy_trial, 5, seed=21, max_workers=4)
+        assert [p.values for p in serial] == [p.values for p in parallel]
+
+    def test_run_error_sweep_bitwise_identical_and_absolute(self):
+        parameters = (-2.0, 0.0, 2.0)
+        serial = run_error_sweep(parameters, _toy_trial, 6, seed=22, max_workers=1)
+        parallel = run_error_sweep(parameters, _toy_trial, 6, seed=22, max_workers=3)
+        assert [p.values for p in serial] == [p.values for p in parallel]
+        for point in serial:
+            assert all(v >= 0.0 for v in point.values)
+
+    def test_fig12_ranging_bitwise_identical(self):
+        kwargs = dict(distances_m=(2.0, 5.0), n_trials=2, seed=12)
+        serial = fig12_localization.run_fig12_ranging(**kwargs, max_workers=1)
+        parallel = fig12_localization.run_fig12_ranging(**kwargs, max_workers=4)
+        assert [p.values for p in serial] == [p.values for p in parallel]
+
+    def test_coverage_map_bitwise_identical(self):
+        kwargs = dict(
+            x_range_m=(2.0, 5.0), y_range_m=(-1.0, 1.0),
+            n_x=2, n_y=2, n_trials=1, seed=77,
+        )
+        serial = run_coverage_map(**kwargs, max_workers=1)
+        parallel = run_coverage_map(**kwargs, max_workers=4)
+        np.testing.assert_array_equal(serial.delivery, parallel.delivery)
+
+
+class TestSweepPointP90:
+    def test_p90_is_plain_percentile_of_stored_values(self):
+        point = SweepPoint(1.0, (-5.0, -4.0, -3.0, -2.0, -1.0))
+        # No magnitude: a sweep of signed quantities keeps its sign.
+        assert point.p90 == float(np.percentile(point.values, 90.0))
+        assert point.p90 < 0.0
+
+    def test_error_sweep_points_store_magnitudes(self):
+        def signed_trial(parameter, rng):
+            return float(rng.normal(loc=-3.0))  # almost surely negative
+
+        points = run_error_sweep((0.0,), signed_trial, 8, seed=5)
+        assert all(v >= 0.0 for v in points[0].values)
+        assert points[0].p90 > 0.0
