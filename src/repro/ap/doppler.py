@@ -19,6 +19,7 @@ import numpy as np
 from repro.constants import SPEED_OF_LIGHT
 from repro.dsp.signal import Signal
 from repro.errors import LocalizationError
+from repro.kernels import rxchain
 
 __all__ = ["VelocityEstimate", "DopplerEstimator"]
 
@@ -71,13 +72,11 @@ class DopplerEstimator:
         """
         if len(beat_records) < 3:
             raise LocalizationError("need at least three chirps for pulse pairs")
-        values = []
-        for record in beat_records:
-            spectrum = np.fft.fft(record.samples)
-            freqs = np.fft.fftfreq(record.samples.size, d=1.0 / record.sample_rate_hz)
-            idx = int(np.argmin(np.abs(freqs - beat_frequency_hz)))
-            values.append(spectrum[idx])
-        values = np.asarray(values)
+        values = rxchain.complex_bin_values(
+            np.stack([record.samples for record in beat_records]),
+            beat_records[0].sample_rate_hz,
+            beat_frequency_hz,
+        )
         if node_toggles:
             carriers = values[0::2]  # reflect-state chirps
             lag = self.TOGGLE_LAG

@@ -15,10 +15,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constants import SPEED_OF_LIGHT
-from repro.dsp.fftutils import Spectrum, interpolated_peak, windowed_fft
+from repro.dsp.fftutils import Spectrum, interpolated_peak, window_taps, windowed_fft
 from repro.dsp.signal import Signal
 from repro.dsp.waveforms import SawtoothChirp
 from repro.errors import LocalizationError
+from repro.kernels import rxchain
 
 __all__ = ["RangeEstimate", "FmcwProcessor"]
 
@@ -52,14 +53,27 @@ class FmcwProcessor:
     # --- spectra ----------------------------------------------------------------
 
     def chirp_spectra(self, beat_records: list[Signal]) -> list[Spectrum]:
-        """Windowed FFT of every per-chirp beat record (equal grids)."""
+        """Windowed FFT of every per-chirp beat record (equal grids).
+
+        The burst is stacked and transformed as one
+        ``(n_chirps, n)`` array by :mod:`repro.kernels.rxchain` — per
+        record this is exactly :func:`~repro.dsp.fftutils.windowed_fft`.
+        """
         if len(beat_records) < 2:
             raise LocalizationError("need at least two chirps")
         n = beat_records[0].samples.size
         for record in beat_records[1:]:
             if record.samples.size != n:
                 raise LocalizationError("beat records differ in length")
-        return [windowed_fft(record) for record in beat_records]
+        if n == 0:
+            return [windowed_fft(record) for record in beat_records]
+        fs_hz = beat_records[0].sample_rate_hz
+        values = rxchain.windowed_spectra(
+            np.stack([record.samples for record in beat_records]),
+            window_taps("hann", n),
+        )
+        freqs = np.fft.fftshift(np.fft.fftfreq(n, d=1.0 / fs_hz))
+        return [Spectrum(freqs, row) for row in values]
 
     def background_subtracted(self, beat_records: list[Signal]) -> Spectrum:
         """Pairwise-differenced spectrum, averaged over all adjacent pairs.
@@ -69,11 +83,9 @@ class FmcwProcessor:
         (n−1) pairs — the paper's five-chirp scheme gives four pairs.
         """
         spectra = self.chirp_spectra(beat_records)
-        diffs = [
-            np.abs(a.values - b.values)
-            for a, b in zip(spectra[:-1], spectra[1:])
-        ]
-        mean_mag = np.mean(diffs, axis=0)
+        mean_mag = rxchain.mean_abs_pair_diff(
+            np.stack([spectrum.values for spectrum in spectra])
+        )
         return Spectrum(spectra[0].frequencies_hz, mean_mag.astype(np.complex128))
 
     def subtracted_pair_complex(self, beat_records: list[Signal]) -> Spectrum:

@@ -18,6 +18,7 @@ import numpy as np
 from repro.constants import SPEED_OF_LIGHT
 from repro.dsp.signal import Signal
 from repro.errors import LocalizationError
+from repro.kernels import rxchain
 
 __all__ = ["ArrayAoaEstimate", "ArrayAoaEstimator"]
 
@@ -73,15 +74,15 @@ class ArrayAoaEstimator:
         n_chirps = len(per_antenna_records[0])
         if n_chirps < 2:
             raise LocalizationError("need at least two chirps")
-        values = np.empty((self.n_antennas, n_chirps), dtype=complex)
-        for m, records in enumerate(per_antenna_records):
-            for k, record in enumerate(records):
-                spectrum = np.fft.fft(record.samples)
-                freqs = np.fft.fftfreq(
-                    record.samples.size, d=1.0 / record.sample_rate_hz
-                )
-                idx = int(np.argmin(np.abs(freqs - beat_frequency_hz)))
-                values[m, k] = spectrum[idx]
+        stacked = np.stack(
+            [
+                [record.samples for record in records]
+                for records in per_antenna_records
+            ]
+        )
+        values = rxchain.complex_bin_values(
+            stacked, per_antenna_records[0][0].sample_rate_hz, beat_frequency_hz
+        )
         return (values[:, :-1] - values[:, 1:]).T
 
     def steering_vector(self, angle_deg: float) -> np.ndarray:

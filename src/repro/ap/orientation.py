@@ -21,6 +21,7 @@ from repro.antennas.fsa import FrequencyScanningAntenna
 from repro.ap.fmcw import FmcwProcessor
 from repro.dsp.signal import Signal
 from repro.errors import LocalizationError
+from repro.kernels import rxchain
 
 __all__ = ["ApOrientationEstimate", "ApOrientationEstimator"]
 
@@ -98,13 +99,9 @@ class ApOrientationEstimator:
         mask = np.abs(freqs - beat_frequency_hz) <= self.MASK_HALF_WIDTH_HZ
         if not mask.any():
             raise LocalizationError("beat mask selects no bins")
-        profiles = []
-        for a, b in zip(beat_records[:-1], beat_records[1:]):
-            diff = a.samples - b.samples
-            spectrum = np.fft.fft(diff)
-            spectrum[~mask] = 0.0
-            profiles.append(np.abs(np.fft.ifft(spectrum)))
-        return np.mean(profiles, axis=0)
+        return rxchain.masked_pair_profile(
+            np.stack([record.samples for record in beat_records]), mask
+        )
 
     @staticmethod
     def _refine_peak(freqs: np.ndarray, profile: np.ndarray, k: int) -> float:

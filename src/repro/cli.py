@@ -12,6 +12,9 @@ roll-up after the experiment output.
 
 ``--workers N`` executes sweep trials on N processes (see
 ``docs/PERFORMANCE.md``); results are bitwise identical to serial runs.
+``--kernels reference`` swaps the batched array kernels for their
+retained loop references — also bitwise identical, useful for isolating
+a suspected kernel bug.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ import argparse
 import sys
 from typing import Callable
 
-from repro import obs
+from repro import kernels, obs
 from repro.experiments import (
     ablations,
     coverage_map,
@@ -131,6 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
         "are bitwise identical to serial; default: $REPRO_MAX_WORKERS or 1)",
     )
     run.add_argument(
+        "--kernels",
+        choices=kernels.KERNEL_MODES,
+        default=None,
+        help="array-kernel implementation: 'batched' (default) or the "
+        "retained 'reference' loops; both are bitwise identical "
+        "(default: $REPRO_KERNELS or 'batched')",
+    )
+    run.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -178,6 +189,8 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.kernels is not None:
+        kernels.set_kernel_mode(args.kernels)
     # One invocation = one observation window: artifacts must describe
     # exactly this run, so clear anything import-time code recorded.
     obs.reset()

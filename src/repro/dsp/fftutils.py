@@ -15,9 +15,11 @@ import numpy as np
 
 from repro.dsp.signal import Signal
 from repro.errors import SignalError
+from repro.kernels import dsp as dsp_kernel
 
 __all__ = [
     "Spectrum",
+    "window_taps",
     "windowed_fft",
     "interpolated_peak",
     "find_peaks_above",
@@ -67,6 +69,16 @@ _WINDOWS = {
 }
 
 
+def window_taps(window: str, n: int) -> np.ndarray:
+    """Taps of a named analysis window of length ``n``."""
+    try:
+        return _WINDOWS[window](n)
+    except KeyError:
+        raise SignalError(
+            f"unknown window {window!r}; choose from {sorted(_WINDOWS)}"
+        ) from None
+
+
 def windowed_fft(
     signal: Signal,
     window: str = "hann",
@@ -80,10 +92,7 @@ def windowed_fft(
     n = signal.samples.size
     if n == 0:
         raise SignalError("cannot FFT an empty signal")
-    try:
-        win = _WINDOWS[window](n)
-    except KeyError:
-        raise SignalError(f"unknown window {window!r}; choose from {sorted(_WINDOWS)}")
+    win = window_taps(window, n)
     nfft = nfft or n
     if nfft < n:
         raise SignalError("nfft must be >= signal length")
@@ -156,11 +165,7 @@ def find_peaks_above(
     if mag.size < 3:
         raise SignalError("spectrum too short for peak finding")
     floor = threshold_ratio * mag.max()
-    candidates = [
-        k
-        for k in range(1, mag.size - 1)
-        if mag[k] >= floor and mag[k] >= mag[k - 1] and mag[k] > mag[k + 1]
-    ]
+    candidates = dsp_kernel.local_maxima_candidates(mag, floor)
     # Greedy non-maximum suppression, strongest first.
     candidates.sort(key=lambda k: -mag[k])
     kept: list[int] = []

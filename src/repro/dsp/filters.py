@@ -128,8 +128,6 @@ def single_pole_lowpass(signal: Signal, bandwidth_hz: float) -> Signal:
         raise ConfigurationError("bandwidth must be positive")
     dt = 1.0 / signal.sample_rate_hz
     alpha = 1.0 - np.exp(-2.0 * np.pi * bandwidth_hz * dt)
-    out = np.empty_like(signal.samples)
-    state = 0.0 + 0.0j
     samples = signal.samples
     # First-order recursion; numpy cannot vectorize the dependence chain,
     # but scipy's lfilter can.
@@ -138,6 +136,8 @@ def single_pole_lowpass(signal: Signal, bandwidth_hz: float) -> Signal:
 
         out = lfilter([alpha], [1.0, -(1.0 - alpha)], samples)
     except ImportError:  # pragma: no cover - scipy is a hard dependency
+        out = np.empty_like(samples)
+        state = 0.0 + 0.0j
         for i, x in enumerate(samples):
             state = state + alpha * (x - state)
             out[i] = state

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.dsp.signal import Signal
 from repro.errors import DecodingError, SignalError
+from repro.kernels import dsp as dsp_kernel
 
 __all__ = [
     "symbol_integrate",
@@ -40,23 +41,17 @@ def symbol_integrate(
     if symbol_duration_s <= 0:
         raise DecodingError("symbol duration must be positive")
     t0_s = signal.start_time_s if t_first_symbol_s is None else t_first_symbol_s
-    fs_hz = signal.sample_rate_hz
     guard_s = 0.2 * symbol_duration_s
-    levels = np.empty(n_symbols)
-    for k in range(n_symbols):
-        a = t0_s + k * symbol_duration_s + guard_s
-        b = t0_s + (k + 1) * symbol_duration_s - guard_s
-        i0 = int(np.round((a - signal.start_time_s) * fs_hz))
-        i1 = int(np.round((b - signal.start_time_s) * fs_hz))
-        i0 = max(i0, 0)
-        i1 = min(i1, signal.samples.size)
-        if i1 <= i0:
-            raise DecodingError(
-                f"symbol {k} falls outside the captured signal "
-                f"(need samples [{i0}, {i1}) of {signal.samples.size})"
-            )
-        levels[k] = float(np.mean(signal.samples[i0:i1].real))
-    return levels
+    i0, i1 = dsp_kernel.slot_bounds(
+        signal.samples.size,
+        signal.sample_rate_hz,
+        signal.start_time_s,
+        t0_s,
+        symbol_duration_s,
+        guard_s,
+        n_symbols,
+    )
+    return dsp_kernel.integrate_slots(signal.samples, i0, i1)
 
 
 def estimate_threshold(levels: np.ndarray) -> float:

@@ -15,6 +15,7 @@ from repro.lint.rules.ml005_mutable_defaults import MutableDefaultRule
 from repro.lint.rules.ml006_all import DunderAllRule
 from repro.lint.rules.ml007_print import BarePrintRule
 from repro.lint.rules.ml008_parallel import ConcurrencyImportRule
+from repro.lint.rules.ml009_fstrings import RaiseFStringRule
 
 __all__ = [
     "LegacyNumpyRandomRule",
@@ -25,4 +26,5 @@ __all__ = [
     "DunderAllRule",
     "BarePrintRule",
     "ConcurrencyImportRule",
+    "RaiseFStringRule",
 ]

@@ -1,0 +1,60 @@
+"""ML009 — no placeholder-free f-strings in ``raise`` statements.
+
+An ``f"..."`` with no ``{placeholder}`` is a plain string wearing an
+``f`` prefix. In a ``raise`` it is worse than noise: it advertises that
+the message interpolates runtime context (a value, a limit, a file) when
+it interpolates nothing, and it usually marks the spot where someone
+*meant* to include the offending value and forgot. Either add the
+placeholder the message promises or drop the prefix.
+
+The rule is scoped to ``raise`` statements — error messages are where
+the missing-context cost is paid — rather than policing every string in
+the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleContext, Rule, register
+
+__all__ = ["RaiseFStringRule"]
+
+
+@register
+class RaiseFStringRule(Rule):
+    rule_id = "ML009"
+    name = "no-placeholder-free-raise-fstring"
+    description = (
+        "f-string in a raise statement has no {placeholder}; add the runtime "
+        "context the message implies or drop the 'f' prefix."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            # A format spec like the ".3f" in f"{x:.3f}" parses as its own
+            # placeholder-free JoinedStr — not an f-string the author wrote.
+            spec_ids = {
+                id(part.format_spec)
+                for part in ast.walk(node.exc)
+                if isinstance(part, ast.FormattedValue)
+                and part.format_spec is not None
+            }
+            for joined in ast.walk(node.exc):
+                if (
+                    isinstance(joined, ast.JoinedStr)
+                    and id(joined) not in spec_ids
+                    and not any(
+                        isinstance(part, ast.FormattedValue)
+                        for part in joined.values
+                    )
+                ):
+                    yield module.finding(
+                        self,
+                        joined,
+                        "placeholder-free f-string in raise; interpolate the "
+                        "missing context or remove the 'f' prefix",
+                    )

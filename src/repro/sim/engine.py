@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy.signal import lfilter
 
 from repro import obs
 from repro.antennas.dual_port_fsa import TonePair
@@ -29,6 +30,7 @@ from repro.dsp.envelope import two_tone_mean_envelope
 from repro.dsp.noise import thermal_noise_power_w
 from repro.dsp.signal import Signal
 from repro.errors import ConfigurationError
+from repro.kernels import burst as burst_kernel
 from repro.node.node import BackscatterNode
 from repro.phy.ber import measure_ber
 from repro.sim import cache as simcache
@@ -394,7 +396,7 @@ class MilBackSimulator:
         # Node path: FSA-shaped amplitude, toggled per chirp.
         ports = {"both": (FsaPort.A, FsaPort.B), "A": (FsaPort.A,), "B": (FsaPort.B,)}
         if toggled_port not in ports:
-            raise ConfigurationError(f"toggled_port must be 'both', 'A' or 'B'")
+            raise ConfigurationError("toggled_port must be 'both', 'A' or 'B'")
         node_delay = 2.0 * propagation_delay_s(self.budget.node_distance_m())
         node_beat = slope_hz_per_s * node_delay
         node_phase0 = 2.0 * math.pi * chirp.start_hz * node_delay
@@ -440,34 +442,40 @@ class MilBackSimulator:
             4.0 * math.pi * radial_velocity_mps * cfg.chirp_repetition_interval_s
             / (SPEED_OF_LIGHT / chirp.center_hz)
         )
+        # Assemble the whole burst through the kernel layer: variates are
+        # pre-drawn in the exact legacy order (per chirp: trigger jitter,
+        # cancellation residual, then per-antenna noise), then every
+        # record comes out of one (n_chirps, n_rx, n) computation —
+        # bitwise identical between the batched and reference modes.
+        params = burst_kernel.BurstParams(
+            static=np.stack(static),
+            node_shape=node_shape,
+            mirror_shape=mirror_shape,
+            t=t,
+            slope_hz_per_s=slope_hz_per_s,
+            start_hz=chirp.start_hz,
+            on_amp=on_amp,
+            off_amp=off_amp,
+            mirror_leak=leak,
+            rx_phase_step_rad=node_rx2_phase,
+            doppler_step_rad=doppler_step,
+            noise_sigma=math.sqrt(noise_power / 2.0),
+        )
+        variates = burst_kernel.draw_variates(
+            self.rng,
+            n_chirps,
+            n_rx_antennas,
+            n,
+            self.calibration.trigger_jitter_s,
+            lambda: self._cancellation_residual(n, fs_hz),
+        )
+        samples = burst_kernel.synthesize_burst(params, variates)
         records = tuple([] for _ in range(n_rx_antennas))
         for k in range(n_chirps):
-            state_on = k % 2 == 0
-            node_factor = on_amp if state_on else off_amp
-            mirror_factor = 1.0 + (leak if state_on else 0.0)
-            # Instrument imperfections, fresh per chirp: a trigger-timing
-            # offset shifts every apparent delay; TX phase noise decorrelates
-            # consecutive chirps so clutter cancellation is imperfect.
-            tau_j = self.rng.normal(0.0, self.calibration.trigger_jitter_s)
-            jitter = np.exp(
-                1j * 2.0 * math.pi * (slope_hz_per_s * tau_j * t + chirp.start_hz * tau_j)
-            )
-            residual = self._cancellation_residual(n, fs_hz)
-            doppler = np.exp(1j * doppler_step * k)
             for m in range(n_rx_antennas):
-                rx_phase = np.exp(1j * m * node_rx2_phase)
-                samples = (
-                    static[m] * (1.0 + residual)
-                    + node_factor * node_shape * rx_phase * doppler
-                    + mirror_factor * mirror_shape * rx_phase * doppler
-                ) * jitter
-                sigma = math.sqrt(noise_power / 2.0)
-                noise = sigma * (
-                    self.rng.standard_normal(n) + 1j * self.rng.standard_normal(n)
-                )
                 records[m].append(
                     Signal(
-                        samples + noise,
+                        samples[k, m],
                         fs_hz,
                         0.0,
                         k * cfg.chirp_repetition_interval_s,
@@ -493,8 +501,6 @@ class MilBackSimulator:
         alpha = 1.0 - math.exp(
             -2.0 * math.pi * cal.cancellation_residual_bandwidth_hz / fs
         )
-        from scipy.signal import lfilter
-
         smooth = lfilter([alpha], [1.0, -(1.0 - alpha)], white)
         rms = float(np.sqrt(np.mean(np.abs(smooth) ** 2)))
         if rms <= 0:

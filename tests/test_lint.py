@@ -35,6 +35,7 @@ class TestEngine:
         assert ids == [
             "ML001", "ML002", "ML003", "ML004",
             "ML005", "ML006", "ML007", "ML008",
+            "ML009",
         ]
 
     def test_get_rule_unknown_id_raises(self):
@@ -513,6 +514,61 @@ class TestML008ConcurrencyImports:
         path = SRC_ROOT / "repro" / "parallel" / "executor.py"
         source = path.read_text(encoding="utf-8")
         assert lint_source(source, str(path), select=["ML008"]) == []
+
+
+class TestML009RaiseFString:
+    def test_fires_on_placeholder_free_fstring(self):
+        source = """\
+        __all__ = []
+        def f(mode):
+            raise ValueError(f"mode must be batched or reference")
+        """
+        findings = findings_for(source, select=["ML009"])
+        assert rule_ids(findings) == ["ML009"]
+        assert "placeholder-free" in findings[0].message
+
+    def test_fires_on_bare_fstring_raise_inside_call_chain(self):
+        source = """\
+        __all__ = []
+        def f(err):
+            raise RuntimeError(str(f"static message"))
+        """
+        assert rule_ids(findings_for(source, select=["ML009"])) == ["ML009"]
+
+    def test_silent_with_placeholder(self):
+        source = """\
+        __all__ = []
+        def f(mode):
+            raise ValueError(f"unknown mode {mode!r}")
+        """
+        assert findings_for(source, select=["ML009"]) == []
+
+    def test_silent_on_format_spec_joinedstr(self):
+        # The ".3f" spec parses as its own placeholder-free JoinedStr;
+        # the rule must not mistake it for an authored f-string.
+        source = """\
+        __all__ = []
+        def f(x):
+            raise ValueError(f"x = {x:.3f} out of range")
+        """
+        assert findings_for(source, select=["ML009"]) == []
+
+    def test_silent_on_plain_string_and_non_raise_fstring(self):
+        source = """\
+        __all__ = []
+        def f(x):
+            label = f"constant label"
+            raise ValueError("plain message")
+        """
+        assert findings_for(source, select=["ML009"]) == []
+
+    def test_line_pragma_suppresses(self):
+        source = """\
+        __all__ = []
+        def f():
+            raise ValueError(f"kept for a template diff")  # milback: disable=ML009 — template parity
+        """
+        assert findings_for(source, select=["ML009"]) == []
 
 
 class TestCli:
