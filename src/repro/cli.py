@@ -15,6 +15,11 @@ roll-up after the experiment output.
 ``--kernels reference`` swaps the batched array kernels for their
 retained loop references — also bitwise identical, useful for isolating
 a suspected kernel bug.
+
+``python -m repro faults`` runs a resilience campaign (fault-rate sweep
+with degradation curves and the ARQ invariant check), and ``run
+--faults SPEC`` runs any experiment under an active fault plan — see
+``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
@@ -23,7 +28,9 @@ import argparse
 import sys
 from typing import Callable
 
-from repro import kernels, obs
+from repro import faults, kernels, obs
+from repro.errors import FaultInjectionError
+from repro.faults import campaign as faults_campaign
 from repro.experiments import (
     ablations,
     coverage_map,
@@ -110,6 +117,42 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {
 }
 
 
+def _add_execution_args(parser: argparse.ArgumentParser) -> None:
+    """Worker/kernel/observability flags shared by every executing command."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run sweeps on N worker processes (0 = all cores; results "
+        "are bitwise identical to serial; default: $REPRO_MAX_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--kernels",
+        choices=kernels.KERNEL_MODES,
+        default=None,
+        help="array-kernel implementation: 'batched' (default) or the "
+        "retained 'reference' loops; both are bitwise identical "
+        "(default: $REPRO_KERNELS or 'batched')",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL span/event trace of this run to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a metrics.json snapshot of this run to PATH",
+    )
+    parser.add_argument(
+        "--obs-summary",
+        action="store_true",
+        help="print a metrics/span roll-up after the experiment output",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument schema."""
     parser = argparse.ArgumentParser(
@@ -127,37 +170,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the per-point trial count (where applicable)",
     )
     run.add_argument(
-        "--workers",
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="run under an active fault plan: comma-separated "
+        "kind[:rate[:intensity]] entries, e.g. 'link_drop:0.2,"
+        "adc_saturation:0.5:0.8' (see docs/ROBUSTNESS.md; 'repro faults' "
+        "lists the kinds). One process-wide plan: unlike 'repro faults' "
+        "campaigns, results are not bitwise serial-vs-parallel",
+    )
+    run.add_argument(
+        "--fault-seed",
         type=int,
-        default=None,
-        help="run sweeps on N worker processes (0 = all cores; results "
-        "are bitwise identical to serial; default: $REPRO_MAX_WORKERS or 1)",
+        default=0,
+        help="seed for the fault plan's RNG stream (default 0)",
     )
-    run.add_argument(
-        "--kernels",
-        choices=kernels.KERNEL_MODES,
-        default=None,
-        help="array-kernel implementation: 'batched' (default) or the "
-        "retained 'reference' loops; both are bitwise identical "
-        "(default: $REPRO_KERNELS or 'batched')",
+    _add_execution_args(run)
+    fl = sub.add_parser(
+        "faults", help="run a resilience campaign (fault-rate sweep)"
     )
-    run.add_argument(
-        "--trace",
-        metavar="PATH",
-        default=None,
-        help="write a JSONL span/event trace of this run to PATH",
+    fl.add_argument(
+        "--kinds",
+        default="link_drop",
+        help="comma-separated fault kinds to arm "
+        f"(known: {', '.join(sorted(faults.FAULT_KINDS))})",
     )
-    run.add_argument(
-        "--metrics-out",
-        metavar="PATH",
-        default=None,
-        help="write a metrics.json snapshot of this run to PATH",
+    fl.add_argument(
+        "--rates",
+        default="0.0,0.1,0.2,0.3",
+        help="comma-separated fault rates to sweep",
     )
-    run.add_argument(
-        "--obs-summary",
+    fl.add_argument(
+        "--intensity",
+        type=float,
+        default=1.0,
+        help="fault intensity in [0, 1] applied to every kind (default 1)",
+    )
+    fl.add_argument(
+        "--trials",
+        type=int,
+        default=5,
+        help="trials per swept rate (default 5)",
+    )
+    fl.add_argument(
+        "--distance",
+        type=float,
+        default=3.0,
+        help="AP-node distance in meters (default 3)",
+    )
+    fl.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign seed; replays are bit-for-bit at any worker count",
+    )
+    fl.add_argument(
+        "--check",
         action="store_true",
-        help="print a metrics/span roll-up after the experiment output",
+        help="fail (exit 1) when the ARQ resilience invariant is violated",
     )
+    _add_execution_args(fl)
     return parser
 
 
@@ -173,6 +245,30 @@ def _run_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_faults_campaign(args: argparse.Namespace) -> int:
+    """Execute the ``faults`` subcommand inside the obs window."""
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    rates = tuple(float(r) for r in args.rates.split(",") if r.strip())
+    result = faults_campaign.main(
+        kinds=kinds,
+        rates=rates,
+        intensity=args.intensity,
+        n_trials=args.trials,
+        distance_m=args.distance,
+        seed=args.seed,
+        max_workers=args.workers,
+    )
+    print(result.rows())  # milback: disable=ML007 — CLI output
+    if args.check:
+        try:
+            faults_campaign.check_resilience(result)
+        except FaultInjectionError as exc:
+            print(exc, file=sys.stderr)  # milback: disable=ML007 — CLI output
+            return 1
+        print("resilience invariant: OK")  # milback: disable=ML007 — CLI output
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -181,8 +277,7 @@ def main(argv: list[str] | None = None) -> int:
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}")  # milback: disable=ML007 — CLI output
         return 0
-    # run
-    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+    if args.command == "run" and args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(  # milback: disable=ML007 — CLI output
             f"unknown experiment {args.experiment!r}; "
             f"choose from {', '.join(EXPERIMENTS)} or 'all'",
@@ -195,9 +290,21 @@ def main(argv: list[str] | None = None) -> int:
     # exactly this run, so clear anything import-time code recorded.
     obs.reset()
     try:
-        with obs.span("cli.run", experiment=args.experiment):
-            obs.counter("cli.runs").inc()
-            status = _run_experiments(args)
+        if args.command == "faults":
+            with obs.span("cli.faults", kinds=args.kinds, rates=args.rates):
+                obs.counter("cli.runs").inc()
+                status = _run_faults_campaign(args)
+        elif args.faults is not None:
+            specs = faults.parse_fault_specs(args.faults)
+            plan = faults.FaultPlan(specs, rng=args.fault_seed)
+            with obs.span("cli.run", experiment=args.experiment, faults=args.faults):
+                obs.counter("cli.runs").inc()
+                with faults.activate(plan):
+                    status = _run_experiments(args)
+        else:
+            with obs.span("cli.run", experiment=args.experiment):
+                obs.counter("cli.runs").inc()
+                status = _run_experiments(args)
     finally:
         # Artifacts are written even when an experiment raises — a
         # partial trace of a crashed sweep is exactly what you debug with.

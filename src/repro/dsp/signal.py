@@ -32,12 +32,18 @@ class Signal:
             (0 for a true baseband signal such as a detector output).
         start_time_s: absolute time of the first sample, so chirp segments
             and packet fields can be placed on a shared timeline.
+        metadata: optional numeric annotations attached by the producing
+            stage (e.g. the ADC's ``clip_fraction``). Preserved by
+            :meth:`copy`; deliberately dropped by every transform, since
+            an annotation about one representation rarely survives a
+            resample/mix/slice.
     """
 
     samples: np.ndarray
     sample_rate_hz: float
     center_frequency_hz: float = 0.0
     start_time_s: float = 0.0
+    metadata: "dict[str, float] | None" = None
 
     def __post_init__(self) -> None:
         self.samples = np.asarray(self.samples)
@@ -86,12 +92,13 @@ class Signal:
     # --- transformations ------------------------------------------------------
 
     def copy(self) -> "Signal":
-        """Deep copy (samples are duplicated)."""
+        """Deep copy (samples are duplicated, metadata is preserved)."""
         return Signal(
             self.samples.copy(),
             self.sample_rate_hz,
             self.center_frequency_hz,
             self.start_time_s,
+            metadata=None if self.metadata is None else dict(self.metadata),
         )
 
     def scaled(self, amplitude_gain: float) -> "Signal":

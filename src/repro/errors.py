@@ -23,6 +23,7 @@ __all__ = [
     "LocalizationError",
     "CalibrationError",
     "StaticAnalysisError",
+    "FaultInjectionError",
 ]
 
 
@@ -72,3 +73,9 @@ class CalibrationError(MilBackError):
 class StaticAnalysisError(MilBackError):
     """The :mod:`repro.lint` engine was misused (unknown rule id,
     duplicate registration, unreadable path)."""
+
+
+class FaultInjectionError(MilBackError):
+    """The :mod:`repro.faults` subsystem was misconfigured (unknown fault
+    kind, out-of-range rate/intensity) or a resilience-campaign
+    invariant was violated."""

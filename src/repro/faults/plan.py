@@ -1,0 +1,182 @@
+"""Fault plans: activation, accounting, and the pipeline hook points.
+
+A :class:`FaultPlan` bundles the configured
+:class:`~repro.faults.spec.FaultSpec` list with its *own* RNG stream —
+deliberately separate from the simulation RNG, so arming a plan never
+perturbs the clean pipeline's draws — plus an injection ledger mirrored
+into the ``faults.injected{type=...}`` obs counter.
+
+Plans activate through the :func:`activate` context manager, which
+swaps a module-global slot.  The hook functions at the bottom of this
+module are what the instrumented seams in ``repro.sim`` /
+``repro.hardware`` / ``repro.protocol`` call; each one starts with
+
+    ``if _ACTIVE is None: return value``
+
+so the clean path costs one global load and one comparison and returns
+the *same object* — bitwise identical to a build without the hooks.
+A plan whose specs are all unarmed (rate or intensity of zero) takes
+the same early exit per site.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.faults import injectors
+from repro.faults.spec import FaultSite, FaultSpec
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = [
+    "FaultPlan",
+    "active_plan",
+    "activate",
+    "corrupt_burst",
+    "adc_input",
+    "adc_codes",
+    "detector_output",
+    "switch_toggle_amplitudes",
+    "switch_reflection",
+    "link_drops",
+]
+
+
+class FaultPlan:
+    """A set of fault specs plus the RNG stream that drives them.
+
+    The plan's generator is spawned/seeded by the caller (campaigns
+    pre-spawn one per trial, exactly like :mod:`repro.parallel` does
+    for simulation streams), so replays are bit-for-bit at any worker
+    count.  ``injections`` tallies how many opportunities each kind
+    actually corrupted.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec], rng: RngLike = None) -> None:
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        self.rng: np.random.Generator = make_rng(rng)
+        self.injections: dict[str, int] = {}
+        self._armed: dict[FaultSite, tuple[FaultSpec, ...]] = {}
+        for site in FaultSite:
+            self._armed[site] = tuple(
+                spec for spec in self.specs if spec.site is site and spec.armed
+            )
+
+    def armed_specs(self, site: FaultSite) -> tuple[FaultSpec, ...]:
+        """The armed specs targeting ``site`` (possibly empty)."""
+        return self._armed[site]
+
+    def record(self, kind: str, count: int) -> None:
+        """Tally ``count`` injections of ``kind`` (no-op when zero)."""
+        if count > 0:
+            self.injections[kind] = self.injections.get(kind, 0) + count
+            obs.counter("faults.injected", type=kind).inc(count)
+
+
+#: The plan hooks consult; None means the clean fast path.
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently activated plan, or None."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def activate(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for the dynamic extent of the ``with`` block.
+
+    Nesting is allowed; the previous plan (or None) is restored on
+    exit, so campaigns can scope faults to a single trial.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def corrupt_burst(samples: np.ndarray) -> np.ndarray:
+    """Hook: synthesized ``(n_chirps, n_rx, n)`` beat burst (engine)."""
+    plan = _ACTIVE
+    if plan is None:
+        return samples
+    specs = plan.armed_specs(FaultSite.BURST)
+    if not specs:
+        return samples
+    return injectors.apply_burst_faults(samples, specs, plan.rng, plan.record)
+
+
+def adc_input(values: np.ndarray) -> np.ndarray:
+    """Hook: analog voltages entering :meth:`Adc.sample` (pre-clip)."""
+    plan = _ACTIVE
+    if plan is None:
+        return values
+    specs = plan.armed_specs(FaultSite.ADC)
+    if not specs:
+        return values
+    return injectors.apply_adc_input_faults(values, specs, plan.rng, plan.record)
+
+
+def adc_codes(codes: np.ndarray, n_bits: int) -> np.ndarray:
+    """Hook: rounded quantiser codes inside :meth:`Adc.sample`."""
+    plan = _ACTIVE
+    if plan is None:
+        return codes
+    specs = plan.armed_specs(FaultSite.ADC)
+    if not specs:
+        return codes
+    return injectors.apply_adc_code_faults(codes, n_bits, specs, plan.rng, plan.record)
+
+
+def detector_output(envelope_v: np.ndarray) -> np.ndarray:
+    """Hook: envelope-detector output voltages."""
+    plan = _ACTIVE
+    if plan is None:
+        return envelope_v
+    specs = plan.armed_specs(FaultSite.DETECTOR)
+    if not specs:
+        return envelope_v
+    return injectors.apply_detector_faults(envelope_v, specs, plan.rng, plan.record)
+
+
+def switch_toggle_amplitudes(on_amp: float, off_amp: float) -> tuple[float, float]:
+    """Hook: the engine's modulated on/off reflection amplitudes."""
+    plan = _ACTIVE
+    if plan is None:
+        return on_amp, off_amp
+    specs = plan.armed_specs(FaultSite.SWITCH)
+    if not specs:
+        return on_amp, off_amp
+    return injectors.apply_switch_toggle_faults(
+        on_amp, off_amp, specs, plan.rng, plan.record
+    )
+
+
+def switch_reflection(amplitude: float, reflect_amp: float, absorb_amp: float) -> float:
+    """Hook: a behavioural switch's per-state reflection amplitude."""
+    plan = _ACTIVE
+    if plan is None:
+        return amplitude
+    specs = plan.armed_specs(FaultSite.SWITCH)
+    if not specs:
+        return amplitude
+    return injectors.apply_switch_reflection_faults(
+        amplitude, reflect_amp, absorb_amp, specs, plan.rng, plan.record
+    )
+
+
+def link_drops(direction: str) -> bool:
+    """Hook: True when the protocol session should be dropped."""
+    plan = _ACTIVE
+    if plan is None:
+        return False
+    specs = plan.armed_specs(FaultSite.LINK)
+    if not specs:
+        return False
+    return injectors.link_session_dropped(direction, specs, plan.rng, plan.record)

@@ -1,0 +1,201 @@
+"""Fault taxonomy: kinds, sites, and the :class:`FaultSpec` dataclass.
+
+A *fault kind* names one physical failure mode of the MilBack hardware
+or link (a sticking SPDT switch, a saturating ADC, an interfering
+radar, ...).  Each kind attaches to exactly one *injection site* — the
+seam in the clean pipeline where :mod:`repro.faults.plan` applies it.
+A :class:`FaultSpec` is the user-facing knob: a kind plus an occurrence
+``rate`` (how often the fault strikes) and an ``intensity`` (how hard
+it strikes, normalised to ``[0, 1]``).
+
+The registry here is purely declarative; the corruption math lives in
+:mod:`repro.faults.injectors` and the activation machinery in
+:mod:`repro.faults.plan`.  See ``docs/ROBUSTNESS.md`` for the taxonomy
+table and the physical meaning of each intensity scale.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import FaultInjectionError
+
+__all__ = [
+    "FaultSite",
+    "FaultKind",
+    "FaultSpec",
+    "FAULT_KINDS",
+    "fault_kind",
+    "parse_fault_specs",
+]
+
+
+class FaultSite(enum.Enum):
+    """The pipeline seam a fault kind corrupts."""
+
+    BURST = "burst"  # synthesized beat-note burst (engine)
+    ADC = "adc"  # hardware.adc sampling / quantisation
+    DETECTOR = "detector"  # hardware.envelope_detector output
+    SWITCH = "switch"  # hardware.switch amplitudes
+    LINK = "link"  # protocol.link session outcomes
+
+
+@dataclass(frozen=True)
+class FaultKind:
+    """A named failure mode bound to one injection site."""
+
+    name: str
+    site: FaultSite
+    description: str
+
+
+#: Registry of every supported fault kind, keyed by name.
+FAULT_KINDS: dict[str, FaultKind] = {
+    kind.name: kind
+    for kind in (
+        FaultKind(
+            "chirp_drop",
+            FaultSite.BURST,
+            "A whole chirp's beat record is attenuated (intensity<1) or "
+            "zeroed (intensity>=1), as when the tag misses a trigger.",
+        ),
+        FaultKind(
+            "chirp_truncation",
+            FaultSite.BURST,
+            "The trailing `intensity` fraction of an affected chirp is "
+            "zeroed, as when the sweep aborts early.",
+        ),
+        FaultKind(
+            "interference_burst",
+            FaultSite.BURST,
+            "An in-band CW tone (amplitude = intensity x record RMS) is "
+            "added to affected chirps, as from a co-channel radar.",
+        ),
+        FaultKind(
+            "clock_skew",
+            FaultSite.BURST,
+            "A per-burst clock offset adds a progressive phase ramp "
+            "across chirps (up to intensity-scaled cycles).",
+        ),
+        FaultKind(
+            "symbol_jitter",
+            FaultSite.BURST,
+            "Affected chirps are circularly shifted in time by a "
+            "Gaussian jitter scaled by intensity, as from tag timing "
+            "wander.",
+        ),
+        FaultKind(
+            "adc_saturation",
+            FaultSite.ADC,
+            "Affected captures are overdriven before clipping "
+            "(gain = 1 + intensity), saturating the converter.",
+        ),
+        FaultKind(
+            "adc_stuck_bits",
+            FaultSite.ADC,
+            "A fraction of code bits (scaled by intensity) sticks at 1 "
+            "on affected captures, as from a damaged converter.",
+        ),
+        FaultKind(
+            "detector_gain_drift",
+            FaultSite.DETECTOR,
+            "The envelope detector's responsivity drifts by up to "
+            "+/- 50% x intensity on affected detections.",
+        ),
+        FaultKind(
+            "switch_stuck_reflective",
+            FaultSite.SWITCH,
+            "The SPDT switch partially sticks reflective: the absorptive "
+            "amplitude is pulled toward the reflective one by intensity.",
+        ),
+        FaultKind(
+            "switch_stuck_absorptive",
+            FaultSite.SWITCH,
+            "The SPDT switch partially sticks absorptive: the reflective "
+            "amplitude is pulled toward the absorptive one by intensity.",
+        ),
+        FaultKind(
+            "link_drop",
+            FaultSite.LINK,
+            "An affected link session is dropped outright (raises "
+            "ProtocolError), exercising the ARQ recovery path.",
+        ),
+    )
+}
+
+
+def fault_kind(name: str) -> FaultKind:
+    """Look up a registered fault kind by name."""
+    try:
+        return FAULT_KINDS[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_KINDS))
+        raise FaultInjectionError(f"unknown fault kind {name!r}; known kinds: {known}") from None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One configured fault: a kind plus occurrence rate and intensity.
+
+    ``rate`` is the per-opportunity probability in ``[0, 1]`` that the
+    fault strikes (per chirp, per capture, per session — whatever the
+    kind's site exposes).  ``intensity`` in ``[0, 1]`` scales how badly
+    an affected opportunity is corrupted; a spec with ``rate`` or
+    ``intensity`` of zero is *unarmed* and its injector is skipped
+    entirely, so outputs are bitwise identical to the clean pipeline.
+    """
+
+    kind: str
+    rate: float = 1.0
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        fault_kind(self.kind)  # validates the name
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultInjectionError(f"fault rate must be in [0, 1], got {self.rate}")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise FaultInjectionError(f"fault intensity must be in [0, 1], got {self.intensity}")
+
+    @property
+    def site(self) -> FaultSite:
+        return fault_kind(self.kind).site
+
+    @property
+    def armed(self) -> bool:
+        """True when this spec can actually corrupt anything."""
+        return self.rate > 0.0 and self.intensity > 0.0
+
+    def with_rate(self, rate: float) -> "FaultSpec":
+        """Copy of this spec at a different occurrence rate."""
+        return replace(self, rate=rate)
+
+
+def parse_fault_specs(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a CLI fault string into specs.
+
+    Grammar: comma-separated entries of ``kind[:rate[:intensity]]``,
+    e.g. ``"link_drop:0.2,adc_saturation:0.5:0.8"``.  Omitted fields
+    default to 1.0.
+    """
+    specs: list[FaultSpec] = []
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        fields = entry.split(":")
+        if len(fields) > 3:
+            raise FaultInjectionError(
+                f"malformed fault spec {entry!r}; expected kind[:rate[:intensity]]"
+            )
+        try:
+            rate = float(fields[1]) if len(fields) > 1 else 1.0
+            intensity = float(fields[2]) if len(fields) > 2 else 1.0
+        except ValueError:
+            raise FaultInjectionError(
+                f"malformed fault spec {entry!r}; rate/intensity must be numbers"
+            ) from None
+        specs.append(FaultSpec(fields[0], rate=rate, intensity=intensity))
+    if not specs:
+        raise FaultInjectionError("empty fault spec string")
+    return tuple(specs)

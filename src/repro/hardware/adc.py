@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import faults, obs
 from repro.dsp.signal import Signal
 from repro.errors import HardwareError
 
@@ -43,7 +44,11 @@ class Adc:
         quantize.
 
         Values beyond the unipolar range [0, full_scale] clip — the same
-        overrange behaviour as the real converter.
+        overrange behaviour as the real converter. Overrange samples are
+        counted into the ``hardware.adc.clipped_samples`` obs counter and
+        the clip fraction is exposed as ``clip_fraction`` on the returned
+        signal's metadata, so saturation (natural or injected) is visible
+        without re-deriving it downstream.
         """
         if analog.samples.size == 0:
             raise HardwareError("empty analog input")
@@ -56,12 +61,18 @@ class Adc:
         idx = np.round(np.arange(0, analog.samples.size, step)).astype(int)
         idx = idx[idx < analog.samples.size]
         values = analog.samples[idx].real
+        values = faults.adc_input(values)
+        n_clipped = int(np.count_nonzero((values < 0.0) | (values > self.full_scale_v)))
+        if n_clipped > 0:
+            obs.counter("hardware.adc.clipped_samples").inc(n_clipped)
         clipped = np.clip(values, 0.0, self.full_scale_v)
         codes = np.round(clipped / self.lsb_v)
+        codes = faults.adc_codes(codes, self.n_bits)
         quantized = codes * self.lsb_v
         return Signal(
             quantized.astype(np.complex128),
             self.sample_rate_hz,
             0.0,
             analog.start_time_s,
+            metadata={"clip_fraction": n_clipped / values.size},
         )

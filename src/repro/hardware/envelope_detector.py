@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import faults
 from repro.dsp.filters import single_pole_lowpass
 from repro.dsp.signal import Signal
 from repro.errors import HardwareError
@@ -97,10 +98,10 @@ class EnvelopeDetector:
         if rf_input.samples.size == 0:
             raise HardwareError("empty RF input")
         fs_hz = rf_input.sample_rate_hz
+        envelope_v = self.responsivity_v_per_sqrt_w * np.abs(rf_input.samples)
+        envelope_v = faults.detector_output(envelope_v)
         envelope = Signal(
-            (self.responsivity_v_per_sqrt_w * np.abs(rf_input.samples)).astype(
-                np.complex128
-            ),
+            envelope_v.astype(np.complex128),
             fs_hz,
             0.0,
             rf_input.start_time_s,

@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro import faults
 from repro.errors import HardwareError
 from repro.hardware.power import ComponentPower, NodeMode
 
@@ -66,11 +67,14 @@ class SpdtSwitch:
 
         REFLECT: a short circuit reflects fully, minus two passes of
         insertion loss. ABSORB: the detector's matched 50 Ω absorbs the
-        wave; only the finite isolation leaks back.
+        wave; only the finite isolation leaks back. An active
+        switch-stuck fault plan pulls the returned amplitude toward the
+        opposite state (see docs/ROBUSTNESS.md).
         """
-        if self.state is SwitchState.REFLECT:
-            return 10.0 ** (-2.0 * self.insertion_loss_db / 20.0)
-        return 10.0 ** (-self.isolation_db / 20.0)
+        reflect_amp = 10.0 ** (-2.0 * self.insertion_loss_db / 20.0)
+        absorb_amp = 10.0 ** (-self.isolation_db / 20.0)
+        amplitude = reflect_amp if self.state is SwitchState.REFLECT else absorb_amp
+        return faults.switch_reflection(amplitude, reflect_amp, absorb_amp)
 
     def through_amplitude(self) -> float:
         """Field transmission toward the detector branch."""

@@ -16,6 +16,7 @@ from repro.lint.rules.ml006_all import DunderAllRule
 from repro.lint.rules.ml007_print import BarePrintRule
 from repro.lint.rules.ml008_parallel import ConcurrencyImportRule
 from repro.lint.rules.ml009_fstrings import RaiseFStringRule
+from repro.lint.rules.ml010_faults import FaultApiRule
 
 __all__ = [
     "LegacyNumpyRandomRule",
@@ -27,4 +28,5 @@ __all__ = [
     "BarePrintRule",
     "ConcurrencyImportRule",
     "RaiseFStringRule",
+    "FaultApiRule",
 ]

@@ -1,0 +1,102 @@
+"""ML010 — fault injection only through the :mod:`repro.faults` API.
+
+The fault subsystem's contract is that the clean pipeline is bitwise
+untouched unless a plan is active, every corruption draws from the
+plan's own RNG stream, and every injection is tallied into
+``faults.injected{type=...}``.  Code that imports the package's
+internals (``repro.faults.spec`` / ``plan`` / ``injectors``) to corrupt
+arrays ad hoc — say, inside ``sim/`` or ``hardware/`` — sidesteps all
+three: determinism, the no-op fast path, and the obs ledger.  The fix
+is to go through the public surface (``from repro import faults``, or
+``repro.faults.campaign`` for sweeps); the implementation itself lives
+under ``repro/faults/`` where this rule does not apply, and anything
+else can justify itself with ``# milback: disable=ML010``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleContext, Rule, register
+
+__all__ = ["FaultApiRule", "RESTRICTED_SUBMODULES"]
+
+#: Internal submodules of ``repro.faults`` reserved for the package itself.
+#: ``campaign`` is deliberately absent: it is orchestration, not
+#: corruption machinery, and the CLI drives it directly.
+RESTRICTED_SUBMODULES: frozenset[str] = frozenset({"spec", "plan", "injectors"})
+
+
+def _is_faults_module(path: str) -> bool:
+    """True for files inside the ``repro/faults/`` package itself."""
+    parts = PurePath(path).parts
+    for i in range(len(parts) - 1):
+        if parts[i] == "repro" and parts[i + 1] == "faults":
+            return True
+    return False
+
+
+def _restricted(module_name: str | None) -> str | None:
+    """The offending internal module, or None when the import is fine."""
+    if not module_name:
+        return None
+    parts = module_name.split(".")
+    if (
+        len(parts) >= 3
+        and parts[0] == "repro"
+        and parts[1] == "faults"
+        and parts[2] in RESTRICTED_SUBMODULES
+    ):
+        return f"repro.faults.{parts[2]}"
+    return None
+
+
+@register
+class FaultApiRule(Rule):
+    rule_id = "ML010"
+    name = "faults-via-public-api"
+    description = (
+        "repro.faults internals (spec/plan/injectors) may only be imported "
+        "inside repro/faults/; everything else uses the repro.faults public "
+        "API so the no-op fast path, RNG discipline and injection ledger "
+        "are preserved."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _is_faults_module(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    offender = _restricted(alias.name)
+                    if offender is not None:
+                        yield module.finding(
+                            self,
+                            node,
+                            f"direct import of {offender}; inject faults "
+                            "through the repro.faults public API",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level > 0:
+                    # Relative imports cannot leave the current package,
+                    # which this rule already exempts.
+                    continue
+                offender = _restricted(node.module)
+                if offender is not None:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"direct import from {offender}; inject faults "
+                        "through the repro.faults public API",
+                    )
+                elif node.module == "repro.faults":
+                    for alias in node.names:
+                        if alias.name in RESTRICTED_SUBMODULES:
+                            yield module.finding(
+                                self,
+                                node,
+                                f"import of repro.faults.{alias.name}; inject "
+                                "faults through the repro.faults public API",
+                            )

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.dsp.signal import Signal
 from repro.errors import ProtocolError
 from repro.node.firmware import PayloadDirection
@@ -125,6 +125,14 @@ class MilBackLink:
             raise ProtocolError("payload must be non-empty")
         obs.counter("protocol.sessions", direction=direction.value).inc()
         with obs.span("protocol.session", direction=direction.value):
+            # An armed link_drop fault kills the whole exchange up front —
+            # the coarse failure mode (blocked path, lost sync) the ARQ
+            # layer exists to recover from.
+            if faults.link_drops(direction.value):
+                obs.counter("protocol.sessions.dropped", direction=direction.value).inc()
+                raise ProtocolError(
+                    f"session dropped by fault injection ({direction.value})"
+                )
             return self._run_session_phases(direction, payload, bit_rate_bps)
 
     def _run_session_phases(

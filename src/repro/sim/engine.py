@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.signal import lfilter
 
-from repro import obs
+from repro import faults, obs
 from repro.antennas.dual_port_fsa import TonePair
 from repro.antennas.fsa import FsaPort
 from repro.ap.access_point import AccessPoint
@@ -430,6 +430,9 @@ class MilBackSimulator:
         sw = self.node.config.switch_a
         on_amp = 1.0  # backscatter gain already includes the reflect loss
         off_amp = 10.0 ** (-(sw.isolation_db - 2.0 * sw.insertion_loss_db) / 20.0)
+        # Switch-stuck faults blend the toggle contrast; a bitwise no-op
+        # when no plan is active (docs/ROBUSTNESS.md).
+        on_amp, off_amp = faults.switch_toggle_amplitudes(on_amp, off_amp)
         leak = self.calibration.mirror_modulation_leakage
 
         noise_power = thermal_noise_power_w(
@@ -470,6 +473,7 @@ class MilBackSimulator:
             lambda: self._cancellation_residual(n, fs_hz),
         )
         samples = burst_kernel.synthesize_burst(params, variates)
+        samples = faults.corrupt_burst(samples)
         records = tuple([] for _ in range(n_rx_antennas))
         for k in range(n_chirps):
             for m in range(n_rx_antennas):

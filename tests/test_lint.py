@@ -35,7 +35,7 @@ class TestEngine:
         assert ids == [
             "ML001", "ML002", "ML003", "ML004",
             "ML005", "ML006", "ML007", "ML008",
-            "ML009",
+            "ML009", "ML010",
         ]
 
     def test_get_rule_unknown_id_raises(self):
@@ -569,6 +569,60 @@ class TestML009RaiseFString:
             raise ValueError(f"kept for a template diff")  # milback: disable=ML009 — template parity
         """
         assert findings_for(source, select=["ML009"]) == []
+
+
+class TestML010FaultApi:
+    def test_fires_on_internal_module_imports(self):
+        source = """\
+        __all__ = []
+        import repro.faults.injectors
+        from repro.faults.plan import FaultPlan
+        from repro.faults.spec import FaultSpec
+        """
+        findings = findings_for(source, select=["ML010"])
+        assert rule_ids(findings) == ["ML010"] * 3
+        assert "public API" in findings[0].message
+
+    def test_fires_on_submodule_via_package_importfrom(self):
+        source = """\
+        __all__ = []
+        from repro.faults import plan
+        """
+        assert rule_ids(findings_for(source, select=["ML010"])) == ["ML010"]
+
+    def test_silent_on_public_api_imports(self):
+        source = """\
+        __all__ = []
+        from repro import faults
+        import repro.faults
+        from repro.faults import FaultPlan, FaultSpec, activate
+        from repro.faults import campaign
+        from repro.faults.campaign import run_campaign
+        """
+        assert findings_for(source, select=["ML010"]) == []
+
+    def test_silent_inside_repro_faults(self):
+        source = """\
+        __all__ = []
+        from repro.faults.spec import FaultSpec
+        from repro.faults import injectors
+        """
+        path = "src/repro/faults/plan.py"
+        assert findings_for(source, path=path, select=["ML010"]) == []
+
+    def test_line_pragma_suppresses(self):
+        source = """\
+        __all__ = []
+        from repro.faults.spec import FaultSpec  # milback: disable=ML010 — taxonomy docs tooling
+        """
+        assert findings_for(source, select=["ML010"]) == []
+
+    def test_plan_module_itself_is_exempt_on_disk(self):
+        # plan.py imports the injectors; the path carve-out (not a
+        # pragma) is what keeps the tree lint-clean.
+        path = SRC_ROOT / "repro" / "faults" / "plan.py"
+        source = path.read_text(encoding="utf-8")
+        assert lint_source(source, str(path), select=["ML010"]) == []
 
 
 class TestCli:
