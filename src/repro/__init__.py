@@ -76,5 +76,5 @@ __all__ = [
     "DenseOaqfmScheme",
     "ConstantVelocityTracker",
     "MilBackError",
-    "__version__",
+    "__version__",  # milback: disable=ML014 — package metadata
 ]

@@ -8,7 +8,7 @@ from repro.antennas.van_atta import VanAttaArray
 from repro.antennas.array import UniformLinearArray, aoa_phase_rad, aoa_from_phase_deg
 
 __all__ = [
-    "Antenna",
+    "Antenna",  # milback: disable=ML014 — public antenna protocol class
     "gain_amplitude",
     "IsotropicAntenna",
     "HornAntenna",

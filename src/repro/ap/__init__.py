@@ -10,6 +10,7 @@ from repro.ap.doppler import DopplerEstimator, VelocityEstimate
 from repro.ap.music import ArrayAoaEstimator, ArrayAoaEstimate
 from repro.ap.access_point import AccessPoint
 
+# milback: disable-file=ML014 — result dataclasses are the public AP API surface
 __all__ = [
     "ApConfig",
     "FmcwProcessor",

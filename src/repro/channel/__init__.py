@@ -52,7 +52,7 @@ __all__ = [
     "gaseous_attenuation_db_per_km",
     "rain_attenuation_db_per_km",
     "fog_attenuation_db_per_km",
-    "RoomPreset",
+    "RoomPreset",  # milback: disable=ML014 — public scene-configuration type
     "office",
     "lab",
     "warehouse",

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Final
 
+# milback: disable-file=ML014 — paper-derived reference constants are API even when unconsumed
 __all__ = [
     "SPEED_OF_LIGHT",
     "BOLTZMANN",

@@ -62,7 +62,7 @@ __all__ = [
     "moving_average",
     "single_pole_lowpass",
     "Spectrum",
-    "PeakEstimate",
+    "PeakEstimate",  # milback: disable=ML014 — public result type
     "windowed_fft",
     "interpolated_peak",
     "find_peaks_above",

@@ -21,7 +21,7 @@ __all__ = [
     "ProtocolError",
     "DecodingError",
     "LocalizationError",
-    "CalibrationError",
+    "CalibrationError",  # milback: disable=ML014 — public exception taxonomy
     "StaticAnalysisError",
     "FaultInjectionError",
 ]

@@ -39,7 +39,7 @@ __all__ = [
     "run_chirp_bandwidth_ablation",
     "run_subtraction_burst_ablation",
     "main",
-    "BackgroundSubtractionAblation",
+    "BackgroundSubtractionAblation",  # milback: disable=ML014 — public experiment result type
 ]
 
 

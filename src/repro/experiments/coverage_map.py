@@ -28,7 +28,7 @@ from repro.sim.engine import MilBackSimulator
 from repro.utils.geometry import Pose2D
 from repro.utils.rng import spawn_rngs
 
-__all__ = ["CoverageMap", "run_coverage_map", "main"]
+__all__ = ["CoverageMap", "run_coverage_map", "main"]  # milback: disable=ML014 — public experiment result type
 
 #: Shade characters from dead to solid coverage.
 SHADES = " .:-=+*#%@"

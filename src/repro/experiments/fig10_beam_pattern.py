@@ -16,8 +16,8 @@ from repro.antennas.dual_port_fsa import DualPortFsa
 from repro.analysis.report import render_table
 
 __all__ = [
-    "BeamPatternResult", "run_fig10", "main",
-    "rows",
+    "BeamPatternResult", "run_fig10", "main",  # milback: disable=ML014 — public experiment result surface
+    "rows",  # milback: disable=ML014 — public experiment result surface
 ]
 
 #: The seven frequencies the paper samples (GHz → Hz).

@@ -19,7 +19,7 @@ from repro.dsp.signal import Signal
 from repro.sim.engine import MilBackSimulator
 from repro.analysis.report import render_table
 
-__all__ = ["OaqfmMicrobenchmark", "run_fig11", "main"]
+__all__ = ["OaqfmMicrobenchmark", "run_fig11", "main"]  # milback: disable=ML014 — public experiment result type
 
 #: The paper's symbol sequence: 00, 01, 10, 11.
 SYMBOL_SEQUENCE_BITS = (0, 0, 0, 1, 1, 0, 1, 1)

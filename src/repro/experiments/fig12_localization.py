@@ -21,8 +21,8 @@ from repro.sim.engine import MilBackSimulator
 from repro.utils.stats import empirical_cdf, percentile
 
 __all__ = [
-    "LocalizationFigure", "run_fig12_ranging", "run_fig12_angle", "main",
-    "run_fig12",
+    "LocalizationFigure", "run_fig12_ranging", "run_fig12_angle", "main",  # milback: disable=ML014 — public experiment result surface
+    "run_fig12",  # milback: disable=ML014 — public experiment result surface
     "ranging_rows",
 ]
 

@@ -25,13 +25,13 @@ from repro.dsp.signal import Signal
 from repro.sim.engine import MilBackSimulator
 
 __all__ = [
-    "OrientationFigure",
+    "OrientationFigure",  # milback: disable=ML014 — public experiment result surface
     "run_fig13_node",
     "run_fig13_ap",
     "run_fig5_traces",
     "main",
-    "run_fig13",
-    "figure_rows",
+    "run_fig13",  # milback: disable=ML014 — public experiment result surface
+    "figure_rows",  # milback: disable=ML014 — public experiment result surface
 ]
 
 #: Orientations swept in both panels [deg].

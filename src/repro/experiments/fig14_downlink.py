@@ -22,7 +22,7 @@ from repro.node.config import NodeConfig
 from repro.phy.ber import ook_matched_filter_ber
 from repro.sim.engine import MilBackSimulator
 
-__all__ = ["DownlinkFigure", "run_fig14", "figure_rows", "main"]
+__all__ = ["DownlinkFigure", "run_fig14", "figure_rows", "main"]  # milback: disable=ML014 — public experiment result type
 
 #: Distances the paper's Figure 14 spans [m].
 DOWNLINK_DISTANCES_M = (1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0)

@@ -24,7 +24,7 @@ from repro.phy.ber import ook_matched_filter_ber
 from repro.sim.engine import MilBackSimulator
 
 __all__ = [
-    "UplinkFigure", "run_fig15", "main",
+    "UplinkFigure", "run_fig15", "main",  # milback: disable=ML014 — public experiment result type
     "figure_rows",
 ]
 

@@ -18,7 +18,7 @@ from repro.hardware.power import NodeMode
 from repro.node.node import BackscatterNode
 
 __all__ = [
-    "PowerReport", "run_power_table", "main",
+    "PowerReport", "run_power_table", "main",  # milback: disable=ML014 — public experiment result type
     "report_rows",
 ]
 

@@ -56,10 +56,10 @@ from repro.faults.spec import (
 __all__ = [
     # taxonomy
     "FaultSite",
-    "FaultKind",
+    "FaultKind",  # milback: disable=ML014 — public fault-spec surface
     "FaultSpec",
     "FAULT_KINDS",
-    "fault_kind",
+    "fault_kind",  # milback: disable=ML014 — public fault-spec surface
     "parse_fault_specs",
     # plan + activation
     "FaultPlan",

@@ -14,7 +14,7 @@ __all__ = [
     "NodeMode",
     "ComponentPower",
     "PowerBudget",
-    "EnergyReport",
+    "EnergyReport",  # milback: disable=ML014 — public hardware model surface
     "SwitchState",
     "SpdtSwitch",
     "EnvelopeDetector",
@@ -25,8 +25,8 @@ __all__ = [
     "Microcontroller",
     "RfMixer",
     "WaveformGenerator",
-    "ChirpSegment",
+    "ChirpSegment",  # milback: disable=ML014 — public hardware model surface
     "Battery",
     "DutyCycledNode",
-    "LifetimeEstimate",
+    "LifetimeEstimate",  # milback: disable=ML014 — public hardware model surface
 ]

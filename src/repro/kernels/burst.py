@@ -31,7 +31,7 @@ from repro.kernels import use_batched
 
 __all__ = [
     "BurstParams",
-    "BurstVariates",
+    "BurstVariates",  # milback: disable=ML014 — public kernel input type
     "draw_variates",
     "synthesize_burst",
     "synthesize_burst_batched",

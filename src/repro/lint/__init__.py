@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.lint.core import (
     Finding,
     ModuleContext,
+    ProjectRule,
     Rule,
     Severity,
     all_rules,
@@ -26,10 +27,13 @@ from repro.lint.core import (
     lint_source,
     register,
 )
+from repro.lint.driver import LintReport, run_lint
 
 __all__ = [
     "Finding",
+    "LintReport",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "Severity",
     "all_rules",
@@ -37,6 +41,7 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "register",
+    "run_lint",
 ]
 
 # Importing the rules package registers every built-in ML rule.

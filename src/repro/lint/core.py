@@ -28,15 +28,19 @@ import tokenize
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import StaticAnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.project import ProjectContext
 
 __all__ = [
     "Severity",
     "Finding",
     "ModuleContext",
     "Rule",
+    "ProjectRule",
     "register",
     "all_rules",
     "get_rule",
@@ -192,6 +196,31 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    A project rule never sees files one at a time: the engine hands it a
+    :class:`repro.lint.project.ProjectContext` — the cached one-pass
+    index of every module's imports, exports and emitted obs names —
+    and the rule yields findings anchored anywhere in the project.
+    Per-module suppression pragmas still apply; the engine filters with
+    the suppression tables embedded in the module summaries.
+    """
+
+    requires_project: bool = True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise StaticAnalysisError(
+            f"project rule {type(self).__name__} must be run via check_project()"
+        )
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield findings for the whole project.  Subclasses override."""
+        raise StaticAnalysisError(
+            f"rule {type(self).__name__} does not implement check_project()"
+        )
+
+
 _REGISTRY: dict[str, type[Rule]] = {}
 
 
@@ -241,7 +270,13 @@ def lint_source(
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
 ) -> list[Finding]:
-    """Lint one in-memory module and return unsuppressed findings."""
+    """Lint one in-memory module and return unsuppressed findings.
+
+    Project rules run against a single-module project here: layering
+    and determinism checks work file-locally, while genuinely
+    cross-file analyses (cycles, catalogue drift, dead exports) need
+    :func:`lint_paths` over the real tree to see anything.
+    """
     try:
         module = ModuleContext.from_source(source, path)
     except SyntaxError as exc:
@@ -255,11 +290,30 @@ def lint_source(
             )
         ]
     findings: list[Finding] = []
-    for rule in _select_rules(select, ignore):
+    per_file, project_rules = _partition_rules(_select_rules(select, ignore))
+    for rule in per_file:
         for finding in rule.check(module):
             if not module.is_suppressed(finding.rule_id, finding.line):
                 findings.append(finding)
+    if project_rules:
+        from repro.lint.project import ProjectContext, build_summary
+
+        summary = build_summary(
+            path, module.tree, module.line_suppressions, module.file_suppressions
+        )
+        project = ProjectContext([summary])
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                if not project.is_suppressed(finding.rule_id, finding.path, finding.line):
+                    findings.append(finding)
     return sorted(findings)
+
+
+def _partition_rules(rules: Sequence[Rule]) -> tuple[list[Rule], list[Rule]]:
+    """Split selected rule instances into (per-file, project) phases."""
+    per_file = [r for r in rules if not getattr(r, "requires_project", False)]
+    project = [r for r in rules if getattr(r, "requires_project", False)]
+    return per_file, project
 
 
 #: Directory names never descended into during file discovery.
@@ -287,12 +341,21 @@ def lint_paths(
     ignore: Sequence[str] | None = None,
     reader: Callable[[Path], str] | None = None,
 ) -> list[Finding]:
-    """Lint every Python file under ``paths``.
+    """Lint every Python file under ``paths`` (per-file + project rules).
 
+    This is the simple in-process entry point; it delegates to the
+    production driver (:mod:`repro.lint.driver`) with caching disabled
+    and serial execution, so results are always computed fresh.
     ``reader`` exists for tests; it defaults to reading from disk.
     """
-    read = reader if reader is not None else lambda p: p.read_text(encoding="utf-8")
-    findings: list[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(lint_source(read(path), str(path), select=select, ignore=ignore))
-    return sorted(findings)
+    from repro.lint.driver import run_lint
+
+    report = run_lint(
+        paths,
+        select=select,
+        ignore=ignore,
+        reader=reader,
+        use_cache=False,
+        jobs=1,
+    )
+    return report.findings

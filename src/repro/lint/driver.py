@@ -1,0 +1,371 @@
+"""Production lint driver: content-hash cache, parallel parse, incremental.
+
+:func:`repro.lint.core.lint_paths` is the simple always-fresh entry
+point; this module is what CI and ``python -m repro.lint`` actually run.
+It layers three things over the core engine without changing any rule:
+
+* **Caching** — every file's per-file findings and its
+  :class:`~repro.lint.project.ModuleSummary` are stored under
+  ``.lint_cache/`` keyed by a content hash, so a warm run re-parses only
+  what changed.  The key mixes in an *engine fingerprint* (a hash of the
+  lint package's own sources plus the registered rule ids), so editing a
+  rule invalidates every entry at once.  Cached findings cover **all**
+  per-file rules and are filtered down to the current ``--select`` at
+  load time, which keeps the cache selection-independent.
+* **Parallelism** — cache misses are analysed via
+  :func:`repro.parallel.parallel_map`, the repo's fork-based
+  deterministic executor, so a cold run uses every allowed core and the
+  findings are bitwise-identical to a serial run.
+* **Incrementality** — ``changed_since=<rev>`` still indexes the whole
+  project (project rules need the full import graph; the cache makes
+  that cheap) but reports only findings located in files ``git diff``
+  says changed since ``rev``, plus untracked files.
+
+Project rules (ML011+) always run: they consume cached summaries, not
+ASTs, so the whole-program phase costs milliseconds even on a fully
+warm cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro import obs
+from repro.errors import StaticAnalysisError
+from repro.lint.core import (
+    PARSE_ERROR_RULE,
+    Finding,
+    ModuleContext,
+    Severity,
+    _partition_rules,
+    _select_rules,
+    all_rules,
+    iter_python_files,
+)
+from repro.lint.project import (
+    ModuleSummary,
+    ProjectContext,
+    build_summary,
+    find_catalogue_path,
+    find_usage_roots,
+)
+
+__all__ = [
+    "LintReport",
+    "run_lint",
+    "engine_fingerprint",
+    "DEFAULT_CACHE_DIR",
+    "CACHE_FORMAT",  # milback: disable=ML014 — on-disk cache contract
+]
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".lint_cache"
+
+#: Bump when the cache payload layout changes.
+CACHE_FORMAT = 1
+
+_Reader = Callable[[Path], str]
+
+
+@dataclass
+class LintReport:
+    """One driver run: the findings plus how they were produced."""
+
+    findings: list[Finding]
+    files_total: int
+    cache_hits: int
+    cache_misses: int
+    duration_s: float
+    workers: int
+    rule_ids: list[str]
+    changed_since: str | None = None
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of files served from cache (0.0 on an empty run)."""
+        if self.files_total == 0:
+            return 0.0
+        return self.cache_hits / self.files_total
+
+
+def engine_fingerprint() -> str:
+    """Hash of the lint package's sources and the registered rule set.
+
+    Any change to the engine, a rule module, the layering allowlist or
+    the set of registered rule ids yields a new fingerprint and thereby
+    invalidates every cache entry — correctness never depends on a
+    stale-rule heuristic.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"format={CACHE_FORMAT}".encode())
+    package_dir = Path(__file__).resolve().parent
+    for source in sorted(package_dir.rglob("*.py")) + sorted(package_dir.rglob("*.txt")):
+        digest.update(source.name.encode())
+        digest.update(source.read_bytes())
+    digest.update(",".join(cls.rule_id for cls in all_rules()).encode())
+    return digest.hexdigest()
+
+
+def _cache_key(fingerprint: str, path: str, source: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(fingerprint.encode())
+    digest.update(path.encode())
+    digest.update(b"\x00")
+    digest.update(source.encode())
+    return digest.hexdigest()
+
+
+def _finding_from_dict(raw: dict[str, object]) -> Finding:
+    return Finding(
+        path=str(raw["path"]),
+        line=int(raw["line"]),  # type: ignore[arg-type]
+        col=int(raw["col"]),  # type: ignore[arg-type]
+        rule_id=str(raw["rule"]),
+        message=str(raw["message"]),
+        severity=Severity(str(raw["severity"])),
+    )
+
+
+def _analyze_file(item: tuple[str, str]) -> dict[str, object]:
+    """Worker payload: all per-file rule findings + the module summary.
+
+    Runs *every* registered per-file rule (not just the selected ones)
+    so the resulting payload is valid for any later rule selection; the
+    driver filters at load time.  Findings are post-suppression.
+    """
+    path, source = item
+    try:
+        module = ModuleContext.from_source(source, path)
+    except SyntaxError as exc:
+        parse_finding = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule_id=PARSE_ERROR_RULE,
+            message=f"could not parse module: {exc.msg}",
+        )
+        return {"findings": [parse_finding.to_dict()], "summary": None}
+    per_file, _ = _partition_rules([cls() for cls in all_rules()])
+    findings: list[Finding] = []
+    for rule in per_file:
+        for finding in rule.check(module):
+            if not module.is_suppressed(finding.rule_id, finding.line):
+                findings.append(finding)
+    summary = build_summary(
+        path, module.tree, module.line_suppressions, module.file_suppressions
+    )
+    return {
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+        "summary": summary.to_dict(),
+    }
+
+
+def _default_reader(path: Path) -> str:
+    try:
+        return path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise StaticAnalysisError(f"cannot read {path}: {exc}") from exc
+
+
+def _git_changed_paths(rev: str, anchor: Path) -> set[str]:
+    """Absolute paths changed between ``rev`` and the working tree.
+
+    Git commands run inside ``anchor`` (the first lint root), so the
+    revision is resolved against the repository being linted, not
+    whatever directory the caller happens to be in.  Untracked files are
+    included: a file the revision has never seen is "changed since" it
+    by any useful definition.
+    """
+    def _git(cwd: Path, *args: str) -> str:
+        try:
+            proc = subprocess.run(
+                ["git", *args],
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        except FileNotFoundError as exc:
+            raise StaticAnalysisError("changed-since requires git on PATH") from exc
+        except subprocess.CalledProcessError as exc:
+            detail = exc.stderr.strip() or exc.stdout.strip() or f"exit {exc.returncode}"
+            raise StaticAnalysisError(f"git {' '.join(args)} failed: {detail}") from exc
+        return proc.stdout
+
+    probe = anchor if anchor.is_dir() else anchor.parent
+    root = Path(_git(probe, "rev-parse", "--show-toplevel").strip())
+    changed: set[str] = set()
+    # Both listings run from the repository root so every reported name
+    # is root-relative (ls-files would otherwise be cwd-relative).
+    for listing in (
+        _git(root, "diff", "--name-only", "-z", rev, "--"),
+        _git(root, "ls-files", "--others", "--exclude-standard", "-z"),
+    ):
+        for name in listing.split("\0"):
+            if name:
+                changed.add(str((root / name).resolve()))
+    return changed
+
+
+def _discover(paths: Iterable[str | Path]) -> list[Path]:
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for path in iter_python_files(paths):
+        if path not in seen:
+            seen.add(path)
+            ordered.append(path)
+    return ordered
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    jobs: int | None = None,
+    use_cache: bool = True,
+    cache_dir: str | Path | None = None,
+    changed_since: str | None = None,
+    reader: _Reader | None = None,
+) -> LintReport:
+    """Lint ``paths`` with caching, parallelism and incremental filtering.
+
+    Parameters mirror the CLI flags: ``jobs`` feeds
+    :func:`repro.parallel.parallel_map` (None defers to
+    ``$REPRO_MAX_WORKERS``), ``use_cache``/``cache_dir`` control the
+    content-hash cache, and ``changed_since`` restricts *reported*
+    findings to files git considers changed since that revision.
+    ``reader`` exists for tests and defaults to reading from disk.
+    """
+    started = time.perf_counter()
+    paths = list(paths)
+    read = reader if reader is not None else _default_reader
+    rules = _select_rules(select, ignore)
+    selected_per_file, project_rules = _partition_rules(rules)
+    selected_ids = {rule.rule_id for rule in selected_per_file} | {PARSE_ERROR_RULE}
+
+    with obs.span("lint.run"):
+        lint_files = _discover(paths)
+        lint_set = {str(path) for path in lint_files}
+        aux_files: list[Path] = []
+        if project_rules:
+            aux_files = [
+                path
+                for path in _discover(find_usage_roots(paths))
+                if str(path) not in lint_set
+            ]
+
+        cache_root = Path(cache_dir) if cache_dir is not None else Path(DEFAULT_CACHE_DIR)
+        fingerprint = engine_fingerprint() if use_cache else ""
+
+        payloads: dict[str, dict[str, object]] = {}
+        pending: list[tuple[str, str]] = []
+        pending_keys: dict[str, str] = {}
+        cache_hits = 0
+        for path in [*lint_files, *aux_files]:
+            path_str = str(path)
+            source = read(path)
+            if use_cache:
+                key = _cache_key(fingerprint, path_str, source)
+                entry = cache_root / key[:2] / f"{key}.json"
+                if entry.is_file():
+                    try:
+                        payloads[path_str] = json.loads(entry.read_text(encoding="utf-8"))
+                        cache_hits += 1
+                        continue
+                    except (OSError, ValueError):
+                        pass  # corrupt entry: fall through and recompute
+                pending_keys[path_str] = key
+            pending.append((path_str, source))
+
+        workers = 1
+        if pending:
+            result = _parallel_analyze(pending, jobs)
+            workers = result[1]
+            for (path_str, _), payload in zip(pending, result[0]):
+                payloads[path_str] = payload
+                if use_cache:
+                    key = pending_keys[path_str]
+                    entry = cache_root / key[:2] / f"{key}.json"
+                    try:
+                        entry.parent.mkdir(parents=True, exist_ok=True)
+                        entry.write_text(
+                            json.dumps(payload, sort_keys=True), encoding="utf-8"
+                        )
+                    except OSError:
+                        pass  # cache is best-effort; findings are already in hand
+
+        findings: list[Finding] = []
+        summaries: list[ModuleSummary] = []
+        aux_summaries: list[ModuleSummary] = []
+        for path_str, payload in payloads.items():
+            is_lint_target = path_str in lint_set
+            if is_lint_target:
+                for raw in payload["findings"]:  # type: ignore[union-attr]
+                    finding = _finding_from_dict(raw)  # type: ignore[arg-type]
+                    if finding.rule_id in selected_ids:
+                        findings.append(finding)
+            if payload["summary"] is not None:
+                summary = ModuleSummary.from_dict(payload["summary"])  # type: ignore[arg-type]
+                if is_lint_target:
+                    summaries.append(summary)
+                else:
+                    aux_summaries.append(summary)
+
+        if project_rules:
+            project = ProjectContext(
+                summaries,
+                aux=aux_summaries,
+                catalogue_path=find_catalogue_path(paths),
+            )
+            for rule in project_rules:
+                for finding in rule.check_project(project):
+                    if not project.is_suppressed(
+                        finding.rule_id, finding.path, finding.line
+                    ):
+                        findings.append(finding)
+
+        if changed_since is not None:
+            anchor = next((Path(p).resolve() for p in paths), Path.cwd())
+            changed = _git_changed_paths(changed_since, anchor)
+            findings = [
+                f for f in findings if str(Path(f.path).resolve()) in changed
+            ]
+
+        files_total = len(lint_files) + len(aux_files)
+        obs.counter("lint.cache.hits").inc(cache_hits)
+        obs.counter("lint.cache.misses").inc(files_total - cache_hits)
+        obs.gauge("lint.files").set(files_total)
+
+        report = LintReport(
+            findings=sorted(findings),
+            files_total=files_total,
+            cache_hits=cache_hits,
+            cache_misses=files_total - cache_hits,
+            duration_s=time.perf_counter() - started,
+            workers=workers,
+            rule_ids=sorted(rule.rule_id for rule in rules),
+            changed_since=changed_since,
+        )
+        obs.gauge("lint.findings").set(len(report.findings))
+        return report
+
+
+def _parallel_analyze(
+    items: Sequence[tuple[str, str]], jobs: int | None
+) -> tuple[list[dict[str, object]], int]:
+    """Analyse ``(path, source)`` pairs via the deterministic executor.
+
+    Returns the payloads in item order plus the worker count actually
+    used (1 when the executor fell back to the serial path).
+    """
+    from repro.parallel import parallel_map
+
+    result = parallel_map(_analyze_file, items, max_workers=jobs)
+    return list(result.values), result.workers

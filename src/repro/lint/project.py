@@ -1,0 +1,548 @@
+"""Whole-program index for cross-file lint rules.
+
+Per-file rules see one :class:`~repro.lint.core.ModuleContext`; the
+project rules (ML011 layering, ML013 obs-catalogue drift, ML014 dead
+exports) need the *relationships between* modules.  This module builds
+that view in one pass: every file is distilled into a
+:class:`ModuleSummary` — its dotted module name, import records
+(with deferred / ``TYPE_CHECKING`` flags), ``__all__`` exports,
+resolved attribute chains, and every metric/span name handed to the
+:mod:`repro.obs` registries — and a :class:`ProjectContext` stitches the
+summaries into an import graph with cycle detection and a symbol-use
+index.
+
+Summaries are plain data (``to_dict``/``from_dict`` round-trip), which
+is what makes the driver's content-hash cache work: an unchanged file
+contributes its cached summary without being re-parsed, and the project
+rules run over summaries alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path, PurePath
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.lint.imports import ImportTable, dotted_chain, resolve_relative_module
+
+__all__ = [
+    "ImportRecord",  # milback: disable=ML014 — public index datatypes for rule authors
+    "MetricCall",  # milback: disable=ML014 — public index datatypes for rule authors
+    "ModuleSummary",
+    "ProjectContext",
+    "build_summary",
+    "find_catalogue_path",
+    "find_usage_roots",
+    "module_name_for_path",  # milback: disable=ML014 — public index helper for rule authors
+    "repro_component",
+    "OBS_EMIT_FUNCTIONS",  # milback: disable=ML014 — documented emitter list for rule authors
+]
+
+#: Callable names whose first string argument is a metric/span name.
+OBS_EMIT_FUNCTIONS: frozenset[str] = frozenset(
+    {"counter", "gauge", "histogram", "span", "event", "traced", "add_event"}
+)
+
+
+def module_name_for_path(path: str) -> str | None:
+    """Dotted module name for a source path, if it lives under ``repro``.
+
+    ``src/repro/sim/engine.py`` → ``repro.sim.engine``;
+    ``repro/sim/__init__.py`` → ``repro.sim``.  Paths outside a
+    ``repro`` tree (test fixtures, benchmarks) have no project module
+    name and return None — their summaries still contribute *uses* to
+    the index, just not importable modules.
+    """
+    parts = PurePath(path).parts
+    try:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return None
+    mod_parts = list(parts[start:])
+    mod_parts[-1] = PurePath(mod_parts[-1]).stem
+    if mod_parts[-1] == "__init__":
+        mod_parts.pop()
+    return ".".join(mod_parts) if mod_parts else None
+
+
+def repro_component(module: str) -> str | None:
+    """Top-level component under ``repro`` (``repro.sim.engine`` → ``sim``).
+
+    The root package itself and non-``repro`` modules return None;
+    top-level modules (``repro.cli``) return their own name (``cli``).
+    """
+    parts = module.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One import statement target inside a module."""
+
+    module: str  #: absolute dotted module the import names
+    name: str | None  #: symbol for ``from module import name``, else None
+    lineno: int
+    col: int
+    deferred: bool  #: inside a function/method body (lazy import)
+    type_checking: bool  #: under an ``if TYPE_CHECKING:`` guard
+    star: bool = False  #: ``from module import *``
+    asname: str | None = None  #: local rebinding via ``as``
+
+    @property
+    def bound_name(self) -> str | None:
+        """The name the import binds locally (None for star imports)."""
+        return self.asname if self.asname is not None else self.name
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "module": self.module,
+            "name": self.name,
+            "lineno": self.lineno,
+            "col": self.col,
+            "deferred": self.deferred,
+            "type_checking": self.type_checking,
+            "star": self.star,
+            "asname": self.asname,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "ImportRecord":
+        return cls(**raw)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class MetricCall:
+    """One metric/span name handed to an obs-registry callable."""
+
+    pattern: str  #: literal name, or glob with ``*`` for f-string holes
+    literal: bool
+    lineno: int
+    col: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "pattern": self.pattern,
+            "literal": self.literal,
+            "lineno": self.lineno,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "MetricCall":
+        return cls(**raw)  # type: ignore[arg-type]
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the project rules need to know about one file."""
+
+    path: str
+    module: str | None
+    is_init: bool
+    imports: list[ImportRecord] = field(default_factory=list)
+    exports: list[tuple[str, int]] = field(default_factory=list)
+    chains: list[str] = field(default_factory=list)
+    metric_calls: list[MetricCall] = field(default_factory=list)
+    line_suppressions: dict[int, list[str]] = field(default_factory=dict)
+    file_suppressions: list[str] = field(default_factory=list)
+
+    @property
+    def package(self) -> str | None:
+        """Dotted package this module lives in (for relative imports)."""
+        if self.module is None:
+            return None
+        if self.is_init:
+            return self.module
+        return self.module.rpartition(".")[0] or None
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if "all" in self.file_suppressions or rule_id in self.file_suppressions:
+            return True
+        on_line = self.line_suppressions.get(line, [])
+        return "all" in on_line or rule_id in on_line
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "is_init": self.is_init,
+            "imports": [record.to_dict() for record in self.imports],
+            "exports": [[name, lineno] for name, lineno in self.exports],
+            "chains": list(self.chains),
+            "metric_calls": [call.to_dict() for call in self.metric_calls],
+            "line_suppressions": {
+                str(line): rules for line, rules in self.line_suppressions.items()
+            },
+            "file_suppressions": list(self.file_suppressions),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "ModuleSummary":
+        return cls(
+            path=raw["path"],  # type: ignore[arg-type]
+            module=raw["module"],  # type: ignore[arg-type]
+            is_init=raw["is_init"],  # type: ignore[arg-type]
+            imports=[ImportRecord.from_dict(r) for r in raw["imports"]],  # type: ignore[union-attr]
+            exports=[(name, lineno) for name, lineno in raw["exports"]],  # type: ignore[union-attr]
+            chains=list(raw["chains"]),  # type: ignore[call-overload]
+            metric_calls=[MetricCall.from_dict(r) for r in raw["metric_calls"]],  # type: ignore[union-attr]
+            line_suppressions={
+                int(line): list(rules)
+                for line, rules in raw["line_suppressions"].items()  # type: ignore[union-attr]
+            },
+            file_suppressions=list(raw["file_suppressions"]),  # type: ignore[call-overload]
+        )
+
+
+class _SummaryVisitor(ast.NodeVisitor):
+    """Single AST walk collecting imports, chains and metric calls."""
+
+    def __init__(self, summary: ModuleSummary, table: ImportTable) -> None:
+        self.summary = summary
+        self.table = table
+        self.depth = 0
+        self.type_checking = 0
+
+    # -- scope / guard tracking -------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_If(self, node: ast.If) -> None:
+        guard = _is_type_checking_test(node.test)
+        self.visit(node.test)
+        if guard:
+            self.type_checking += 1
+        for child in node.body:
+            self.visit(child)
+        if guard:
+            self.type_checking -= 1
+        for child in node.orelse:
+            self.visit(child)
+
+    # -- imports -----------------------------------------------------
+    def _record(
+        self,
+        module: str,
+        name: str | None,
+        node: ast.stmt,
+        star: bool = False,
+        asname: str | None = None,
+    ) -> None:
+        self.summary.imports.append(
+            ImportRecord(
+                module=module,
+                name=name,
+                lineno=node.lineno,
+                col=node.col_offset,
+                deferred=self.depth > 0,
+                type_checking=self.type_checking > 0,
+                star=star,
+                asname=asname,
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._record(alias.name, None, node, asname=alias.asname)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = resolve_relative_module(node.module, node.level, self.summary.package)
+        if module is None:
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                self._record(module, None, node, star=True)
+            else:
+                self._record(module, alias.name, node, asname=alias.asname)
+
+    # -- attribute chains and metric calls ---------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        resolved = self.table.resolve(node)
+        if resolved is not None:
+            self.summary.chains.append(resolved)
+            return  # the full chain subsumes its sub-chains
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = node.func
+        name = None
+        if isinstance(callee, ast.Attribute):
+            name = callee.attr
+        elif isinstance(callee, ast.Name):
+            name = callee.id
+        if name in OBS_EMIT_FUNCTIONS:
+            arg = node.args[0] if node.args else None
+            if arg is None:
+                for kw in node.keywords:
+                    if kw.arg == "name":
+                        arg = kw.value
+            self._record_metric(arg)
+            if name == "traced":
+                for kw in node.keywords:
+                    if kw.arg == "count":
+                        self._record_metric(kw.value)
+        self.generic_visit(node)
+
+    def _record_metric(self, arg: ast.expr | None) -> None:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if arg.value:
+                self.summary.metric_calls.append(
+                    MetricCall(arg.value, True, arg.lineno, arg.col_offset)
+                )
+        elif isinstance(arg, ast.JoinedStr):
+            pattern = "".join(
+                part.value if isinstance(part, ast.Constant) else "*"
+                for part in arg.values
+            )
+            pattern = _collapse_stars(pattern)
+            if pattern.strip("*"):
+                self.summary.metric_calls.append(
+                    MetricCall(pattern, False, arg.lineno, arg.col_offset)
+                )
+
+
+def _collapse_stars(pattern: str) -> str:
+    while "**" in pattern:
+        pattern = pattern.replace("**", "*")
+    return pattern
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    chain = dotted_chain(test)
+    return chain in ("TYPE_CHECKING", "typing.TYPE_CHECKING", "t.TYPE_CHECKING")
+
+
+def build_summary(
+    path: str,
+    tree: ast.Module,
+    line_suppressions: Mapping[int, Iterable[str]],
+    file_suppressions: Iterable[str],
+) -> ModuleSummary:
+    """Distil one parsed module into its :class:`ModuleSummary`."""
+    module = module_name_for_path(path)
+    summary = ModuleSummary(
+        path=path,
+        module=module,
+        is_init=PurePath(path).name == "__init__.py",
+        line_suppressions={line: sorted(rules) for line, rules in line_suppressions.items()},
+        file_suppressions=sorted(file_suppressions),
+    )
+    table = ImportTable.from_tree(tree, package=summary.package)
+    visitor = _SummaryVisitor(summary, table)
+    visitor.visit(tree)
+    # __all__ exports.
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            continue
+        value = node.value
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    summary.exports.append((element.value, element.lineno))
+    summary.chains = sorted(set(summary.chains))
+    return summary
+
+
+class ProjectContext:
+    """The stitched whole-program view the project rules run against.
+
+    ``modules`` are the linted files; ``aux`` summaries come from the
+    usage roots (tests/, benchmarks/, examples/) and extend the
+    symbol-use and metric-emission indexes without being lint targets
+    themselves.
+    """
+
+    def __init__(
+        self,
+        summaries: Sequence[ModuleSummary],
+        aux: Sequence[ModuleSummary] = (),
+        catalogue_path: str | None = None,
+    ) -> None:
+        self.summaries = list(summaries)
+        self.aux = list(aux)
+        self.catalogue_path = catalogue_path
+        self.by_module: dict[str, ModuleSummary] = {
+            s.module: s for s in self.summaries if s.module is not None
+        }
+        self.by_path: dict[str, ModuleSummary] = {s.path: s for s in self.summaries}
+        self._use_paths: dict[tuple[str, str], set[str]] | None = None
+        self._star_paths: dict[str, set[str]] | None = None
+
+    # -- import graph ------------------------------------------------
+    def resolve_import_target(self, record: ImportRecord) -> str:
+        """The module an import record actually lands on.
+
+        ``from repro.sim import cache`` targets module ``repro.sim.cache``
+        when that is a project module, otherwise the named package.
+        """
+        if record.name is not None:
+            candidate = f"{record.module}.{record.name}"
+            if candidate in self.by_module:
+                return candidate
+        return record.module
+
+    def import_graph(self) -> dict[str, set[str]]:
+        """Top-level, runtime (non-``TYPE_CHECKING``) project-module edges."""
+        graph: dict[str, set[str]] = {m: set() for m in self.by_module}
+        for summary in self.summaries:
+            if summary.module is None:
+                continue
+            for record in summary.imports:
+                if record.deferred or record.type_checking:
+                    continue
+                target = self.resolve_import_target(record)
+                if target in self.by_module and target != summary.module:
+                    graph[summary.module].add(target)
+        return graph
+
+    def cycles(self) -> list[list[str]]:
+        """Strongly connected components of size > 1, deterministic order."""
+        graph = self.import_graph()
+        order = sorted(graph)
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = 0
+        sccs: list[list[str]] = []
+
+        for root in order:
+            if root in index:
+                continue
+            # Iterative Tarjan: (node, iterator over sorted successors).
+            work: list[tuple[str, Iterator[str]]] = []
+            index[root] = low[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            work.append((root, iter(sorted(graph[root]))))
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in index:
+                        index[succ] = low[succ] = counter
+                        counter += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(graph[succ]))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.append(member)
+                        if member == node:
+                            break
+                    if len(scc) > 1:
+                        sccs.append(sorted(scc))
+        return sorted(sccs)
+
+    # -- symbol uses -------------------------------------------------
+    def _build_uses(self) -> None:
+        """Index (module, name) → referencing paths over all summaries.
+
+        A chain ``repro.sim.engine.run`` contributes every split —
+        ``(repro, sim)``, ``(repro.sim, engine)``, ``(repro.sim.engine,
+        run)`` — so prefix matching reduces to exact pair lookup.
+        """
+        use_paths: dict[tuple[str, str], set[str]] = {}
+        star_paths: dict[str, set[str]] = {}
+        for summary in list(self.summaries) + list(self.aux):
+            for record in summary.imports:
+                if record.star:
+                    star_paths.setdefault(record.module, set()).add(summary.path)
+                elif record.name is not None:
+                    use_paths.setdefault((record.module, record.name), set()).add(
+                        summary.path
+                    )
+            for chain in summary.chains:
+                parts = chain.split(".")
+                for split in range(1, len(parts)):
+                    key = (".".join(parts[:split]), parts[split])
+                    use_paths.setdefault(key, set()).add(summary.path)
+        self._use_paths = use_paths
+        self._star_paths = star_paths
+
+    def symbol_used(
+        self, module: str, name: str, *, exclude_paths: Iterable[str] = ()
+    ) -> bool:
+        """True when ``module.name`` is referenced outside ``exclude_paths``."""
+        if self._use_paths is None or self._star_paths is None:
+            self._build_uses()
+        assert self._use_paths is not None and self._star_paths is not None
+        paths = set(self._use_paths.get((module, name), ()))
+        paths |= self._star_paths.get(module, set())
+        paths.difference_update(exclude_paths)
+        return bool(paths)
+
+    # -- metric emissions --------------------------------------------
+    def metric_calls(self, *, include_aux_benchmarks: bool = True) -> list[tuple[ModuleSummary, MetricCall]]:
+        """Every obs-registry name emission across the project."""
+        out: list[tuple[ModuleSummary, MetricCall]] = []
+        for summary in self.summaries:
+            for call in summary.metric_calls:
+                out.append((summary, call))
+        if include_aux_benchmarks:
+            for summary in self.aux:
+                if "benchmarks" in PurePath(summary.path).parts:
+                    for call in summary.metric_calls:
+                        out.append((summary, call))
+        return out
+
+    def is_suppressed(self, rule_id: str, path: str, line: int) -> bool:
+        summary = self.by_path.get(path)
+        if summary is None:
+            return False
+        return summary.is_suppressed(rule_id, line)
+
+
+def find_catalogue_path(paths: Iterable[str | Path]) -> str | None:
+    """Locate ``docs/OBSERVABILITY.md`` upward from the lint roots."""
+    for raw in paths:
+        probe = Path(raw).resolve()
+        for candidate in [probe, *probe.parents]:
+            doc = candidate / "docs" / "OBSERVABILITY.md"
+            if doc.is_file():
+                return str(doc)
+    return None
+
+
+def find_usage_roots(paths: Iterable[str | Path]) -> list[Path]:
+    """Auxiliary usage/emission roots (tests, benchmarks, examples)."""
+    roots: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        probe = Path(raw).resolve()
+        for candidate in [probe, *probe.parents]:
+            if not (candidate / "docs" / "OBSERVABILITY.md").is_file():
+                continue
+            for name in ("tests", "benchmarks", "examples"):
+                root = candidate / name
+                if root.is_dir() and root not in seen:
+                    seen.add(root)
+                    roots.append(root)
+            break
+    return roots

@@ -17,7 +17,12 @@ from repro.lint.rules.ml007_print import BarePrintRule
 from repro.lint.rules.ml008_parallel import ConcurrencyImportRule
 from repro.lint.rules.ml009_fstrings import RaiseFStringRule
 from repro.lint.rules.ml010_faults import FaultApiRule
+from repro.lint.rules.ml011_layers import ArchitectureLayerRule
+from repro.lint.rules.ml012_determinism import DeterminismRule
+from repro.lint.rules.ml013_obs_catalogue import ObsCatalogueRule
+from repro.lint.rules.ml014_dead_exports import DeadExportRule
 
+# milback: disable-file=ML014 — rule classes are consumed via the registry, not imports
 __all__ = [
     "LegacyNumpyRandomRule",
     "UnitSuffixRule",
@@ -29,4 +34,8 @@ __all__ = [
     "ConcurrencyImportRule",
     "RaiseFStringRule",
     "FaultApiRule",
+    "ArchitectureLayerRule",
+    "DeterminismRule",
+    "ObsCatalogueRule",
+    "DeadExportRule",
 ]

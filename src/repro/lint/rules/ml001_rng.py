@@ -15,8 +15,9 @@ import ast
 from typing import Iterator
 
 from repro.lint.core import Finding, ModuleContext, Rule, register
+from repro.lint.imports import ImportTable
 
-__all__ = ["LegacyNumpyRandomRule", "LEGACY_FUNCTIONS"]
+__all__ = ["LegacyNumpyRandomRule", "LEGACY_FUNCTIONS"]  # milback: disable=ML014 — documented rule knob
 
 #: Module-level functions of the legacy global-state RandomState API.
 LEGACY_FUNCTIONS: frozenset[str] = frozenset(
@@ -36,16 +37,21 @@ LEGACY_FUNCTIONS: frozenset[str] = frozenset(
 )
 
 
-def _dotted(node: ast.expr) -> str | None:
-    """``np.random.rand`` → ``"np.random.rand"`` (None when not a chain)."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
+def _is_legacy(resolved: str) -> bool:
+    """True when an absolute chain lands on a legacy global-state name.
+
+    Matches ``numpy.random.<fn>`` and deeper spellings such as
+    ``numpy.random.mtrand.<fn>`` — the resolver has already absolutised
+    aliases (``import numpy.random as npr``, ``from numpy import
+    random``, ``nr = np.random``), so only the canonical prefix matters.
+    """
+    parts = resolved.split(".")
+    return (
+        len(parts) >= 3
+        and parts[0] == "numpy"
+        and parts[1] == "random"
+        and parts[-1] in LEGACY_FUNCTIONS
+    )
 
 
 @register
@@ -58,48 +64,29 @@ class LegacyNumpyRandomRule(Rule):
     )
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
-        numpy_aliases: set[str] = set()
-        random_aliases: set[str] = set()
+        table = ImportTable.from_tree(module.tree)
 
         for node in ast.walk(module.tree):
-            if isinstance(node, ast.Import):
+            if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
                 for alias in node.names:
-                    if alias.name == "numpy":
-                        numpy_aliases.add(alias.asname or "numpy")
-                    elif alias.name == "numpy.random":
-                        if alias.asname:
-                            random_aliases.add(alias.asname)
-                        else:
-                            numpy_aliases.add("numpy")
-            elif isinstance(node, ast.ImportFrom):
-                if node.module == "numpy":
-                    for alias in node.names:
-                        if alias.name == "random":
-                            random_aliases.add(alias.asname or "random")
-                elif node.module == "numpy.random":
-                    for alias in node.names:
-                        if alias.name in LEGACY_FUNCTIONS:
-                            yield module.finding(
-                                self,
-                                node,
-                                f"import of legacy numpy.random.{alias.name}; "
-                                "use np.random.default_rng() or a passed-in Generator",
-                            )
+                    if alias.name in LEGACY_FUNCTIONS:
+                        yield module.finding(
+                            self,
+                            node,
+                            f"import of legacy numpy.random.{alias.name}; "
+                            "use np.random.default_rng() or a passed-in Generator",
+                        )
 
-        legacy_prefixes = {f"{alias}.random" for alias in numpy_aliases}
-        legacy_prefixes |= random_aliases
-
+        # Attribute chains are resolved through the import table, so any
+        # aliased spelling of numpy.random is seen for what it is.
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Attribute):
                 continue
-            dotted = _dotted(node)
-            if dotted is None:
-                continue
-            prefix, _, attr = dotted.rpartition(".")
-            if prefix in legacy_prefixes and attr in LEGACY_FUNCTIONS:
+            resolved = table.resolve(node)
+            if resolved is not None and _is_legacy(resolved):
                 yield module.finding(
                     self,
                     node,
-                    f"legacy global-state call {dotted}; use a seeded "
+                    f"legacy global-state call {resolved}; use a seeded "
                     "np.random.default_rng() / passed-in Generator instead",
                 )

@@ -20,7 +20,7 @@ from typing import Iterator
 
 from repro.lint.core import Finding, ModuleContext, Rule, register
 
-__all__ = ["ErrorHierarchyRule", "FORBIDDEN_RAISES", "BROAD_HANDLERS"]
+__all__ = ["ErrorHierarchyRule", "FORBIDDEN_RAISES", "BROAD_HANDLERS"]  # milback: disable=ML014 — documented rule knobs
 
 #: Builtin exceptions that must not be raised directly in src/repro.
 FORBIDDEN_RAISES: frozenset[str] = frozenset(

@@ -21,7 +21,7 @@ from typing import Iterator
 
 from repro.lint.core import Finding, ModuleContext, Rule, register
 
-__all__ = ["DunderAllRule", "is_public_module"]
+__all__ = ["DunderAllRule", "is_public_module"]  # milback: disable=ML014 — documented rule knob
 
 
 def is_public_module(path: str) -> bool:

@@ -20,7 +20,7 @@ from typing import Iterator
 
 from repro.lint.core import Finding, ModuleContext, Rule, register
 
-__all__ = ["ConcurrencyImportRule", "RESTRICTED_MODULES"]
+__all__ = ["ConcurrencyImportRule", "RESTRICTED_MODULES"]  # milback: disable=ML014 — documented rule knobs
 
 #: Top-level modules whose import is reserved for ``repro/parallel/``.
 RESTRICTED_MODULES: frozenset[str] = frozenset({"multiprocessing", "concurrent"})

@@ -21,7 +21,7 @@ from typing import Iterator
 
 from repro.lint.core import Finding, ModuleContext, Rule, register
 
-__all__ = ["FaultApiRule", "RESTRICTED_SUBMODULES"]
+__all__ = ["FaultApiRule", "RESTRICTED_SUBMODULES"]  # milback: disable=ML014 — documented rule knobs
 
 #: Internal submodules of ``repro.faults`` reserved for the package itself.
 #: ``campaign`` is deliberately absent: it is orchestration, not

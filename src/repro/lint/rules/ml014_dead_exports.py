@@ -1,0 +1,106 @@
+"""ML014 — every ``__all__`` export should have a consumer.
+
+``__all__`` is this repo's public-API declaration: docs, ``import *``
+and the re-export hubs in package ``__init__`` modules all follow it.
+An entry nobody imports is either dead code or an API promise nobody
+asked for — both rot.  This rule cross-references every exported name
+against every other module's imports and attribute accesses (including
+``tests/``, ``benchmarks/`` and ``examples/`` next to the catalogue
+root, which are consumers even though they are not linted).
+
+Re-export hubs are handled by following the chain to the origin: a
+package export like ``repro.sim.MilBackSimulator`` is alive when anyone
+consumes the symbol *at any level* — ``from repro.sim import
+MilBackSimulator`` or ``from repro.sim.engine import MilBackSimulator``
+both count, while the hub's own re-import of the origin does not.
+
+Deliberate but currently-unconsumed API surface can suppress per line
+(``"name",  # milback: disable=ML014``) or per file
+(``# milback: disable-file=ML014``).  Findings are warnings: a dead
+export is a smell to review, not an outage.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.core import Finding, ProjectRule, Severity, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.project import ModuleSummary, ProjectContext
+
+__all__ = ["DeadExportRule"]
+
+
+def _export_used(
+    project: "ProjectContext", summary: "ModuleSummary", name: str
+) -> bool:
+    """True when the export (or the symbol it re-exports) has a consumer.
+
+    Walks the re-export chain: if ``summary`` binds ``name`` via ``from
+    origin import name``, uses of ``origin.name`` also keep the export
+    alive.  Paths on the chain itself are excluded, so one hub
+    re-importing from another never counts as consumption.
+    """
+    exclude: set[str] = set()
+    seen: set[tuple[str, str]] = set()
+    stack: list[tuple["ModuleSummary", str]] = [(summary, name)]
+    while stack:
+        current, symbol = stack.pop()
+        if current.module is None or (current.module, symbol) in seen:
+            continue
+        seen.add((current.module, symbol))
+        exclude.add(current.path)
+        if project.symbol_used(current.module, symbol, exclude_paths=exclude):
+            return True
+        for record in current.imports:
+            if record.name is None or record.bound_name != symbol:
+                continue
+            origin = project.by_module.get(record.module)
+            if origin is not None:
+                stack.append((origin, record.name))
+            # ``from pkg import submodule`` re-exports a whole module;
+            # any import of that module keeps the binding alive.
+            target = project.by_module.get(f"{record.module}.{record.name}")
+            if target is not None and project.symbol_used(
+                record.module, record.name, exclude_paths=exclude
+            ):
+                return True
+    return False
+
+
+@register
+class DeadExportRule(ProjectRule):
+    rule_id = "ML014"
+    name = "dead-exports"
+    description = (
+        "Symbols listed in __all__ must be imported or referenced from "
+        "at least one other module (tests/benchmarks/examples count); "
+        "suppress deliberate API surface with a pragma."
+    )
+    severity = Severity.WARNING
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        # A single-module "project" (e.g. linting one scratch file) has
+        # no usage universe to judge against — stay silent.
+        if len(project.summaries) + len(project.aux) < 2:
+            return
+        for summary in project.summaries:
+            if summary.module is None:
+                continue
+            for name, lineno in summary.exports:
+                if _export_used(project, summary, name):
+                    continue
+                yield Finding(
+                    path=summary.path,
+                    line=lineno,
+                    col=1,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"dead export: {summary.module}.{name} is in __all__ "
+                        "but never imported or referenced elsewhere; remove "
+                        "it or suppress with a pragma if it is deliberate "
+                        "API surface"
+                    ),
+                    severity=self.severity,
+                )

@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 export for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning, VS Code SARIF viewers and most CI dashboards ingest.
+This exporter emits one ``run`` whose ``tool.driver`` carries the full
+rule catalogue (so viewers can show rule help without the repo checked
+out) and one ``result`` per finding with a ``physicalLocation``.
+
+The mapping is intentionally 1:1 with the JSON format: the same
+findings, the same count, just re-shaped — ``to_sarif`` never filters.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.core import Finding, Severity, all_rules
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "milback-lint"
+_TOOL_URI = "https://example.invalid/milback/docs/STATIC_ANALYSIS.md"
+
+_LEVEL_OF = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptor(rule_id: str, name: str, description: str) -> dict[str, object]:
+    return {
+        "id": rule_id,
+        "name": name,
+        "shortDescription": {"text": name},
+        "fullDescription": {"text": description},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding: Finding) -> dict[str, object]:
+    return {
+        "ruleId": finding.rule_id,
+        "level": _LEVEL_OF.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(findings: Sequence[Finding]) -> dict[str, object]:
+    """Build the SARIF 2.1.0 log object for ``findings``.
+
+    ``runs[0].results`` has exactly ``len(findings)`` entries — the
+    count round-trips with the text and JSON formats by construction.
+    """
+    rules = [
+        _rule_descriptor(cls.rule_id, cls.name, cls.description)
+        for cls in all_rules()
+    ]
+    rules.append(
+        _rule_descriptor(
+            "ML000", "parse-error", "The engine could not parse this module."
+        )
+    )
+    rules.sort(key=lambda descriptor: descriptor["id"])  # type: ignore[arg-type,return-value]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(finding) for finding in findings],
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """Serialize :func:`to_sarif` output as stable, diff-friendly JSON."""
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import ast
 
-__all__ = ["UNIT_SUFFIXES", "unit_of_name", "infer_unit"]
+__all__ = ["UNIT_SUFFIXES", "unit_of_name", "infer_unit"]  # milback: disable=ML014 — documented rule knob
 
 #: Recognised unit suffixes (lower-case; names are matched case-insensitively).
 #: Compound suffixes (``v_per_sqrt_w``) are listed before their tails would

@@ -11,6 +11,7 @@ from repro.node.demodulator import (
 from repro.node.orientation import NodeOrientationEstimator, NodeOrientationEstimate
 from repro.node.firmware import NodeFirmware, PayloadDirection, Field1Decision
 
+# milback: disable-file=ML014 — result dataclasses are the public node API surface
 __all__ = [
     "NodeConfig",
     "BackscatterNode",

@@ -64,7 +64,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
-    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",  # milback: disable=ML014 — public observability API
     "metric_key",
     # tracing
     "Span",
@@ -82,8 +82,8 @@ __all__ = [
     "get_tracer",
     # bridge + exporters
     "attach_event_log",
-    "SNAPSHOT_VERSION",
-    "metrics_document",
+    "SNAPSHOT_VERSION",  # milback: disable=ML014 — public observability API
+    "metrics_document",  # milback: disable=ML014 — public observability API
     "render_text_summary",
     "write_metrics_json",
     "write_trace_jsonl",

@@ -20,7 +20,7 @@ from repro.obs.tracing import Tracer
 if TYPE_CHECKING:  # import only for annotations: keep obs physics-free
     from repro.protocol.events import Event, EventLog
 
-__all__ = ["attach_event_log", "EVENT_NAME_PREFIX"]
+__all__ = ["attach_event_log", "EVENT_NAME_PREFIX"]  # milback: disable=ML014 — documented naming contract
 
 #: Bridged events are namespaced under this span-style prefix.
 EVENT_NAME_PREFIX = "protocol"

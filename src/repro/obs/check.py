@@ -19,7 +19,7 @@ from typing import Sequence
 __all__ = [
     "check_trace_jsonl",
     "check_metrics_json",
-    "build_parser",
+    "build_parser",  # milback: disable=ML014 — public CLI surface
     "main",
 ]
 

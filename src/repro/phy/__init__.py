@@ -54,7 +54,7 @@ __all__ = [
     "encode_frame",
     "decode_frame",
     "find_sync",
-    "FrameHeader",
+    "FrameHeader",  # milback: disable=ML014 — public result type
     "DenseOaqfmScheme",
     "dense_symbol_levels",
     "decode_dense_levels",

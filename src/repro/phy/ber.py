@@ -18,7 +18,7 @@ from numpy.typing import ArrayLike, NDArray
 from repro.errors import ConfigurationError
 
 __all__ = [
-    "FloatOrArray",
+    "FloatOrArray",  # milback: disable=ML014 — public result type
     "q_function",
     "ook_matched_filter_ber",
     "ook_noncoherent_ber",

@@ -9,6 +9,7 @@ from repro.protocol.discovery import BeamScanDiscovery, Detection
 from repro.protocol.arq import ReliableChannel, TransferResult, LinkStatistics
 from repro.protocol.inventory import SlottedInventory, InventoryResult, InventoryRound
 
+# milback: disable-file=ML014 — result dataclasses are the public protocol API surface
 __all__ = [
     "Packet",
     "PacketSchedule",

@@ -25,5 +25,5 @@ __all__ = [
     "UplinkResult",
     "MultiNodeUplink",
     "MultiNodeDownlink",
-    "ConcurrentNodeResult",
+    "ConcurrentNodeResult",  # milback: disable=ML014 — public simulation API
 ]

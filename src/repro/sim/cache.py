@@ -42,11 +42,11 @@ from repro.sim.linkbudget import LinkBudget, PathGain
 
 __all__ = [
     "ChirpGrid",
-    "SceneInvariantCache",
+    "SceneInvariantCache",  # milback: disable=ML014 — public cache API
     "backscatter_gain_db",
     "chirp_grid",
     "clear_caches",
-    "clutter_paths",
+    "clutter_paths",  # milback: disable=ML014 — public cache API
     "downlink_port_gain_db",
     "frozen_array",
     "fsa_gain_sweep",

@@ -23,7 +23,7 @@ from repro.sim.calibration import Calibration, default_calibration
 from repro.sim.engine import MilBackSimulator
 from repro.utils.rng import RngLike, make_rng
 
-__all__ = ["MobileStep", "MobileSessionResult", "MobileSessionSimulator"]
+__all__ = ["MobileStep", "MobileSessionResult", "MobileSessionSimulator"]  # milback: disable=ML014 — public mobility result types
 
 
 @dataclass(frozen=True)

@@ -6,4 +6,4 @@ from repro.tracking.kalman import (
     polar_to_cartesian_covariance,
 )
 
-__all__ = ["ConstantVelocityTracker", "TrackState", "polar_to_cartesian_covariance"]
+__all__ = ["ConstantVelocityTracker", "TrackState", "polar_to_cartesian_covariance"]  # milback: disable=ML014 — public tracker state type

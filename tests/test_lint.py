@@ -35,7 +35,8 @@ class TestEngine:
         assert ids == [
             "ML001", "ML002", "ML003", "ML004",
             "ML005", "ML006", "ML007", "ML008",
-            "ML009", "ML010",
+            "ML009", "ML010", "ML011", "ML012",
+            "ML013", "ML014",
         ]
 
     def test_get_rule_unknown_id_raises(self):
@@ -678,3 +679,321 @@ class TestRepositoryIsClean:
 
         findings = lint_paths([str(SRC_ROOT)])
         assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# Project rules (ML011-ML014) run over small on-disk fixture trees: the
+# cross-file analyses need real paths so module names, the import graph
+# and the catalogue/usage-root discovery all engage.
+# ---------------------------------------------------------------------------
+
+
+def write_tree(root, files):
+    for rel, content in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(content))
+    return root
+
+
+def tree_findings(root, select):
+    from repro.lint import lint_paths
+
+    return lint_paths([str(root)], select=select)
+
+
+class TestML011Layering:
+    def test_upward_import_is_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/protocol/link.py": '__all__ = ["send"]\n\n\ndef send():\n    return 1\n',
+            "repro/phy/bad.py": "from repro.protocol.link import send\n\nsend()\n",
+        })
+        (finding,) = tree_findings(tmp_path, ["ML011"])
+        assert finding.rule_id == "ML011"
+        assert finding.path.endswith("bad.py")
+        assert "layering violation" in finding.message
+        assert "repro.phy.bad" in finding.message
+
+    def test_deferred_upward_import_still_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/protocol/link.py": '__all__ = ["send"]\n\n\ndef send():\n    return 1\n',
+            "repro/phy/lazy.py": (
+                "def helper():\n"
+                "    from repro.protocol.link import send\n"
+                "    return send()\n"
+            ),
+        })
+        (finding,) = tree_findings(tmp_path, ["ML011"])
+        assert "layering violation" in finding.message
+
+    def test_type_checking_import_is_exempt(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/protocol/link.py": '__all__ = ["send"]\n\n\ndef send():\n    return 1\n',
+            "repro/phy/typed.py": (
+                "from typing import TYPE_CHECKING\n"
+                "\n"
+                "if TYPE_CHECKING:\n"
+                "    from repro.protocol.link import send\n"
+            ),
+        })
+        assert tree_findings(tmp_path, ["ML011"]) == []
+
+    def test_downward_import_is_fine(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/phy/wave.py": '__all__ = ["f"]\n\n\ndef f():\n    return 1\n',
+            "repro/protocol/link.py": "from repro.phy.wave import f\n\nf()\n",
+        })
+        assert tree_findings(tmp_path, ["ML011"]) == []
+
+    def test_allowlisted_edge_is_not_flagged(self, tmp_path):
+        # repro.dsp.fftutils -> kernels is a real allowlist entry.
+        write_tree(tmp_path, {
+            "repro/kernels/dsp.py": '__all__ = ["fft"]\n\n\ndef fft():\n    return 1\n',
+            "repro/dsp/fftutils.py": "from repro.kernels.dsp import fft\n\nfft()\n",
+        })
+        assert tree_findings(tmp_path, ["ML011"]) == []
+
+    def test_import_cycle_is_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/utils/alpha.py": "from repro.utils import beta\n",
+            "repro/utils/beta.py": "from repro.utils import alpha\n",
+        })
+        (finding,) = tree_findings(tmp_path, ["ML011"])
+        assert "import cycle" in finding.message
+        assert "repro.utils.alpha -> repro.utils.beta" in finding.message
+
+    def test_deferred_import_breaks_cycle(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/utils/alpha.py": "from repro.utils import beta\n",
+            "repro/utils/beta.py": (
+                "def late():\n"
+                "    from repro.utils import alpha\n"
+                "    return alpha\n"
+            ),
+        })
+        assert tree_findings(tmp_path, ["ML011"]) == []
+
+    def test_layer_order_matches_declared_stack(self):
+        from repro.lint.rules.ml011_layers import LAYERS, UNCONSTRAINED
+
+        assert [sorted(layer) for layer in LAYERS][0] == ["constants", "errors", "utils"]
+        assert "obs" in UNCONSTRAINED and "lint" in UNCONSTRAINED
+
+    def test_allowlist_parses_real_file(self):
+        from repro.lint.rules.ml011_layers import load_allowlist
+
+        entries = load_allowlist()
+        assert ("repro.sim.engine", "faults") in entries
+        assert all(isinstance(line, int) for line in entries.values())
+
+
+class TestML012Determinism:
+    def test_stdlib_random_is_flagged(self):
+        source = """\
+        import random
+
+        x = random.random()
+        """
+        (finding,) = findings_for(source, path="src/repro/phy/x.py", select=["ML012"])
+        assert "random.random" in finding.message
+
+    def test_aliased_from_import_is_flagged(self):
+        source = """\
+        from random import choice as pick
+
+        x = pick([1, 2])
+        """
+        (finding,) = findings_for(source, path="src/repro/phy/x.py", select=["ML012"])
+        assert "random.choice" in finding.message
+
+    def test_aliased_time_module_is_flagged(self):
+        source = """\
+        import time as clock
+
+        t = clock.time()
+        """
+        (finding,) = findings_for(source, path="src/repro/phy/x.py", select=["ML012"])
+        assert "time.time" in finding.message
+
+    def test_datetime_now_is_flagged(self):
+        source = """\
+        from datetime import datetime
+
+        stamp = datetime.now()
+        """
+        (finding,) = findings_for(source, path="src/repro/phy/x.py", select=["ML012"])
+        assert "wall-clock" in finding.message
+
+    def test_os_urandom_is_flagged(self):
+        source = """\
+        import os
+
+        blob = os.urandom(8)
+        """
+        (finding,) = findings_for(source, path="src/repro/phy/x.py", select=["ML012"])
+        assert "os.urandom" in finding.message
+
+    def test_perf_counter_and_generator_methods_are_fine(self):
+        source = """\
+        import time
+
+
+        def sample(rng):
+            t = time.perf_counter()
+            return rng.random() + rng.normal(), t
+        """
+        assert findings_for(source, path="src/repro/phy/x.py", select=["ML012"]) == []
+
+    def test_rng_module_is_exempt(self):
+        source = """\
+        import os
+
+        seed = os.urandom(8)
+        """
+        assert findings_for(source, path="src/repro/utils/rng.py", select=["ML012"]) == []
+
+    def test_benchmarks_and_tests_are_exempt(self):
+        source = """\
+        import time
+
+        t = time.time()
+        """
+        for path in ("benchmarks/repro/bench.py", "src/repro/x/tests/test_y.py"):
+            assert findings_for(source, path=path, select=["ML012"]) == []
+
+    def test_line_pragma_suppresses(self):
+        source = """\
+        import random
+
+        x = random.random()  # milback: disable=ML012 — fixture jitter
+        """
+        assert findings_for(source, path="src/repro/phy/x.py", select=["ML012"]) == []
+
+
+CATALOGUE_MD = """\
+# Observability
+
+| name | kind | notes |
+| --- | --- | --- |
+| `good.metric` | counter | documented and emitted |
+| `stale.metric` | counter | documented but gone from the code |
+| `engine.<burst>.trials` | counter | placeholder row |
+"""
+
+
+class TestML013ObsCatalogue:
+    def make_tree(self, tmp_path, emit_source):
+        return write_tree(tmp_path, {
+            "docs/OBSERVABILITY.md": CATALOGUE_MD,
+            "src/repro/emit.py": emit_source,
+        })
+
+    def test_drift_both_directions(self, tmp_path):
+        self.make_tree(tmp_path, """\
+            from repro import obs
+
+            obs.counter("good.metric").inc()
+            obs.counter("undocumented.metric").inc()
+            obs.counter(f"engine.{'x'}.trials").inc()
+        """)
+        findings = tree_findings(tmp_path / "src", ["ML013"])
+        messages = [f.message for f in findings]
+        assert len(findings) == 2
+        assert any("undocumented.metric" in m for m in messages)
+        assert any("stale.metric" in m for m in messages)
+        (doc_finding,) = [f for f in findings if "stale" in f.message]
+        assert doc_finding.path.endswith("OBSERVABILITY.md")
+
+    def test_literal_matching_placeholder_row(self, tmp_path):
+        self.make_tree(tmp_path, """\
+            from repro import obs
+
+            obs.counter("good.metric").inc()
+            obs.counter("stale.metric").inc()
+            obs.counter("engine.localization.trials").inc()
+        """)
+        assert tree_findings(tmp_path / "src", ["ML013"]) == []
+
+    def test_pragma_suppresses_emission_finding(self, tmp_path):
+        self.make_tree(tmp_path, """\
+            from repro import obs
+
+            obs.counter("good.metric").inc()
+            obs.counter("stale.metric").inc()
+            obs.counter("engine.localization.trials").inc()
+            obs.counter("scratch.metric").inc()  # milback: disable=ML013
+        """)
+        assert tree_findings(tmp_path / "src", ["ML013"]) == []
+
+    def test_parse_catalogue_normalisation(self):
+        from repro.lint.rules.ml013_obs_catalogue import parse_catalogue
+
+        text = """\
+        | name | kind |
+        | --- | --- |
+        | `cache.hits` / `.misses` / `.bypasses{cache=x}` | counter |
+        | `bench.kernel.synthesis_{reference,batched}_s` | gauge |
+        | `engine.<burst>.trials` | counter |
+        """
+        names = [name for name, _ in parse_catalogue(textwrap.dedent(text))]
+        assert names == [
+            "cache.hits",
+            "cache.misses",
+            "cache.bypasses",
+            "bench.kernel.synthesis_reference_s",
+            "bench.kernel.synthesis_batched_s",
+            "engine.*.trials",
+        ]
+
+
+class TestML014DeadExports:
+    def test_dead_export_flagged_used_export_not(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/lib.py": (
+                '__all__ = [\n    "used",\n    "dead",\n]\n'
+                "\n\ndef used():\n    return 1\n\n\ndef dead():\n    return 2\n"
+            ),
+            "repro/consume.py": "from repro.lib import used\n\nused()\n",
+        })
+        (finding,) = tree_findings(tmp_path, ["ML014"])
+        assert "repro.lib.dead" in finding.message
+        assert finding.line == 3  # the "dead" entry inside __all__
+        assert finding.severity is Severity.WARNING
+
+    def test_hub_reexport_alive_via_origin_use(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/pkg/__init__.py": (
+                'from repro.pkg.impl import thing\n\n__all__ = ["thing"]\n'
+            ),
+            "repro/pkg/impl.py": '__all__ = ["thing"]\n\n\ndef thing():\n    return 1\n',
+            "repro/user.py": "from repro.pkg.impl import thing\n\nthing()\n",
+        })
+        assert tree_findings(tmp_path, ["ML014"]) == []
+
+    def test_attribute_chain_counts_as_use(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/lib.py": '__all__ = ["helper"]\n\n\ndef helper():\n    return 1\n',
+            "repro/caller.py": "import repro.lib\n\nrepro.lib.helper()\n",
+        })
+        assert tree_findings(tmp_path, ["ML014"]) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/lib.py": (
+                '__all__ = [\n'
+                '    "dead",  # milback: disable=ML014 — deliberate API surface\n'
+                "]\n\n\ndef dead():\n    return 1\n"
+            ),
+            "repro/other.py": '__all__ = []\n',
+        })
+        assert tree_findings(tmp_path, ["ML014"]) == []
+
+    def test_single_module_project_is_silent(self):
+        source = """\
+        __all__ = ["f"]
+
+
+        def f():
+            return 1
+        """
+        assert findings_for(source, select=["ML014"]) == []

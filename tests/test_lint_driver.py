@@ -1,0 +1,245 @@
+"""Tests for the production lint driver, the cache, and SARIF export.
+
+The driver (`repro.lint.driver`) is behaviour on top of the rule engine:
+content-hash caching, parallel analysis, `--changed-since` filtering and
+the SARIF 2.1.0 exporter. These tests pin the operational contracts:
+cache hits never change findings, parallel equals serial, and the SARIF
+log round-trips the finding count with the JSON format.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import StaticAnalysisError
+from repro.lint.cli import main as lint_main
+from repro.lint.driver import (
+    DEFAULT_CACHE_DIR,
+    LintReport,
+    engine_fingerprint,
+    run_lint,
+)
+from repro.lint.sarif import SARIF_SCHEMA_URI, SARIF_VERSION, render_sarif, to_sarif
+
+DIRTY = "import numpy as np\nx = np.random.rand(3)\n"
+CLEAN = '__all__ = ["f"]\n\n\ndef f():\n    return 1\n'
+
+
+def make_tree(root):
+    pkg = root / "pkg"
+    pkg.mkdir()
+    (pkg / "dirty.py").write_text(DIRTY)
+    (pkg / "clean.py").write_text(CLEAN)
+    (pkg / "also_dirty.py").write_text(DIRTY + "y = np.random.rand(2)\n")
+    return pkg
+
+
+class TestCache:
+    def test_cold_then_warm_same_findings(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache = tmp_path / "cache"
+        cold = run_lint([pkg], select=["ML001"], cache_dir=cache)
+        warm = run_lint([pkg], select=["ML001"], cache_dir=cache)
+        assert cold.cache_hits == 0 and cold.cache_misses == 3
+        assert warm.cache_hits == 3 and warm.cache_misses == 0
+        assert warm.findings == cold.findings
+        assert warm.cache_hit_ratio == 1.0
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache = tmp_path / "cache"
+        run_lint([pkg], select=["ML001"], cache_dir=cache)
+        (pkg / "clean.py").write_text(CLEAN + "\n# touched\n")
+        second = run_lint([pkg], select=["ML001"], cache_dir=cache)
+        assert second.cache_hits == 2 and second.cache_misses == 1
+
+    def test_cached_findings_filtered_by_selection(self, tmp_path):
+        # The cache stores findings for every per-file rule; a narrower
+        # selection on a warm cache must not leak other rules' findings.
+        pkg = make_tree(tmp_path)
+        cache = tmp_path / "cache"
+        run_lint([pkg], cache_dir=cache)
+        warm = run_lint([pkg], select=["ML006"], cache_dir=cache)
+        assert warm.cache_hits == 3
+        assert {f.rule_id for f in warm.findings} <= {"ML006"}
+
+    def test_no_cache_mode_writes_nothing(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache = tmp_path / "cache"
+        report = run_lint([pkg], select=["ML001"], cache_dir=cache, use_cache=False)
+        assert report.cache_hits == 0
+        assert not cache.exists()
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache = tmp_path / "cache"
+        run_lint([pkg], select=["ML001"], cache_dir=cache)
+        for entry in cache.rglob("*.json"):
+            entry.write_text("{not json")
+        report = run_lint([pkg], select=["ML001"], cache_dir=cache)
+        assert report.cache_misses == 3
+        assert len(report.findings) == 3
+
+    def test_fingerprint_is_stable_hex(self):
+        first, second = engine_fingerprint(), engine_fingerprint()
+        assert first == second
+        assert len(first) == 64 and int(first, 16) >= 0
+
+    def test_default_cache_dir_constant(self):
+        assert DEFAULT_CACHE_DIR == ".lint_cache"
+
+
+class TestParallel:
+    def test_parallel_equals_serial(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        serial = run_lint([pkg], use_cache=False, jobs=1)
+        parallel = run_lint([pkg], use_cache=False, jobs=4)
+        assert parallel.findings == serial.findings
+        assert serial.files_total == parallel.files_total == 3
+
+    def test_report_counts_are_coherent(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        report = run_lint([pkg], use_cache=False, jobs=2)
+        assert isinstance(report, LintReport)
+        assert report.cache_hits + report.cache_misses == report.files_total
+        assert report.duration_s > 0
+        assert "ML001" in report.rule_ids
+
+
+class TestChangedSince:
+    def git(self, *args, cwd):
+        subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            check=True,
+            capture_output=True,
+            env={
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@example.com",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@example.com",
+                "PATH": "/usr/bin:/bin:/usr/local/bin",
+                "HOME": str(cwd),
+            },
+        )
+
+    def test_only_changed_files_reported(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        self.git("init", "-q", cwd=tmp_path)
+        self.git("add", "-A", cwd=tmp_path)
+        self.git("commit", "-qm", "seed", cwd=tmp_path)
+
+        (pkg / "clean.py").write_text(DIRTY)  # newly dirty, tracked change
+        (pkg / "fresh.py").write_text(DIRTY)  # untracked file
+
+        full = run_lint([pkg], select=["ML001"], use_cache=False)
+        incremental = run_lint(
+            [pkg], select=["ML001"], use_cache=False, changed_since="HEAD"
+        )
+        assert len(full.findings) == 5
+        changed_files = {Path(f.path).name for f in incremental.findings}
+        assert changed_files == {"clean.py", "fresh.py"}
+        assert len(incremental.findings) == 2
+
+    def test_bad_revision_raises_usage_error(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        self.git("init", "-q", cwd=tmp_path)
+        with pytest.raises(StaticAnalysisError):
+            run_lint([pkg], use_cache=False, changed_since="no-such-rev")
+
+
+class TestSarif:
+    def findings(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        return run_lint([pkg], select=["ML001"], use_cache=False).findings
+
+    def test_sarif_2_1_0_shape(self, tmp_path):
+        findings = self.findings(tmp_path)
+        log = to_sarif(findings)
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA_URI
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "milback-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert "ML001" in rule_ids and "ML011" in rule_ids and "ML000" in rule_ids
+        assert rule_ids == sorted(rule_ids)
+        result = run["results"][0]
+        assert result["ruleId"] == "ML001"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_result_count_round_trips_with_json(self, tmp_path):
+        findings = self.findings(tmp_path)
+        log = json.loads(render_sarif(findings))
+        assert len(log["runs"][0]["results"]) == len(findings) == 3
+
+    def test_empty_findings_is_valid_sarif(self):
+        log = to_sarif([])
+        assert log["runs"][0]["results"] == []
+
+
+class TestCliFlags:
+    def test_sarif_format_and_output_file(self, tmp_path, capsys):
+        pkg = make_tree(tmp_path)
+        out = tmp_path / "report.sarif"
+        code = lint_main(
+            [str(pkg), "--select", "ML001", "--no-cache",
+             "--format", "sarif", "--output", str(out)]
+        )
+        assert code == 1
+        assert capsys.readouterr().out == ""
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        assert len(log["runs"][0]["results"]) == 3
+
+    def test_cache_flags(self, tmp_path, capsys):
+        pkg = make_tree(tmp_path)
+        cache = tmp_path / "cache"
+        argv = [str(pkg), "--select", "ML001", "--cache-dir", str(cache),
+                "--statistics"]
+        lint_main(argv)
+        first = capsys.readouterr().out
+        assert "cache hits: 0" in first
+        lint_main(argv)
+        second = capsys.readouterr().out
+        assert "cache hits: 3" in second
+
+    def test_bad_changed_since_exits_two(self, tmp_path, capsys):
+        pkg = make_tree(tmp_path)
+        code = lint_main(
+            [str(pkg), "--no-cache", "--changed-since", "no-such-rev"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_jobs_flag_matches_serial(self, tmp_path, capsys):
+        pkg = make_tree(tmp_path)
+        assert lint_main(
+            [str(pkg), "--select", "ML001", "--no-cache", "--jobs", "2",
+             "--format", "json"]
+        ) == 1
+        parallel = json.loads(capsys.readouterr().out)
+        assert lint_main(
+            [str(pkg), "--select", "ML001", "--no-cache", "--format", "json"]
+        ) == 1
+        serial = json.loads(capsys.readouterr().out)
+        assert parallel == serial
+
+    def test_module_entry_point_sarif(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(pkg),
+             "--select", "ML001", "--no-cache", "--format", "sarif"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src"),
+                 "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert proc.returncode == 1
+        log = json.loads(proc.stdout)
+        assert log["runs"][0]["tool"]["driver"]["name"] == "milback-lint"
