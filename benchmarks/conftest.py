@@ -7,12 +7,12 @@ result.
 
 Every benchmark's timing additionally flows through the
 :mod:`repro.obs` metrics registry (histogram ``bench.wall_s`` labelled
-by test), and the session writes ``BENCH_obs.json`` next to the repo
-root — the machine-readable perf trajectory that future optimisation
-PRs diff against. Schema: ``{"version", "generator", "benchmarks":
-{nodeid: {"wall_s", "outcome", ["mean_s", "rounds"]}}, "metrics"}``,
-where ``metrics`` is the full registry snapshot (so engine/protocol
-counters from the benchmarked code land in the same artifact).
+by test), and the session **merges** its results into ``BENCH_obs.json``
+next to the repo root — the machine-readable perf trajectory that
+``repro obs regress`` and future optimisation PRs diff against. Entries
+for benchmarks this session did not run survive untouched, and re-run
+entries keep a bounded per-benchmark ``history`` (see
+:mod:`repro.obs.benchdoc` for the schema).
 """
 
 from __future__ import annotations
@@ -24,6 +24,7 @@ from pathlib import Path
 import pytest
 
 from repro import obs
+from repro.obs.benchdoc import load_bench_document, merge_bench_document
 
 #: Collected per-test entries for BENCH_obs.json, keyed by pytest nodeid.
 _RESULTS: dict[str, dict[str, object]] = {}
@@ -61,13 +62,13 @@ def _bench_obs_path(session: pytest.Session) -> Path:
 def pytest_sessionfinish(session, exitstatus):
     if not _RESULTS:
         return
-    document = {
-        "version": 1,
-        "generator": "repro.obs benchmark harness",
-        "benchmarks": dict(sorted(_RESULTS.items())),
-        "metrics": obs.get_registry().snapshot(),
-    }
-    _bench_obs_path(session).write_text(
+    path = _bench_obs_path(session)
+    document = merge_bench_document(
+        load_bench_document(path),
+        _RESULTS,
+        obs.get_registry().snapshot(),
+    )
+    path.write_text(
         json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
 

@@ -1,0 +1,59 @@
+"""Benchmark: sampling-profiler overhead on a fig12-style workload.
+
+The profiler's whole value proposition is "always cheap enough to turn
+on", so this benchmark times the same localization sweep bare and under
+an armed :class:`~repro.obs.profile.SamplingProfiler` and gates the
+relative overhead. The gauges feed ``BENCH_obs.json``:
+
+* ``bench.fig12.wall_s`` — the bare sweep, the wall-clock anchor the
+  regression gate tracks across PRs;
+* ``bench.profile.baseline_s`` / ``bench.profile.profiled_s`` — the two
+  timed runs;
+* ``bench.profile.overhead_frac`` — profiled/baseline − 1, asserted
+  under the documented 10% budget.
+"""
+
+import time
+
+from repro import obs
+from repro.experiments import fig12_localization
+from repro.obs.profile import SamplingProfiler
+
+N_TRIALS = 6
+
+#: The documented overhead budget for an armed profiler (ISSUE: <10%).
+OVERHEAD_BUDGET = 0.10
+
+
+def _timed_sweep() -> float:
+    start_s = time.perf_counter()
+    fig12_localization.run_fig12_ranging(n_trials=N_TRIALS, seed=12)
+    return time.perf_counter() - start_s
+
+
+def test_bench_profile_overhead(benchmark):
+    # Warm caches (chirp grids, static fields) so both timed runs see
+    # the same steady state and the ratio measures the profiler alone.
+    _timed_sweep()
+    baseline_s = min(_timed_sweep() for _ in range(3))
+    profiler = SamplingProfiler()
+    with profiler:
+        profiled_s = min(_timed_sweep() for _ in range(3))
+    assert profiler.n_samples > 0, "profiler captured no samples"
+    overhead = profiled_s / baseline_s - 1.0
+    obs.gauge("bench.fig12.wall_s").set(baseline_s)
+    obs.gauge("bench.profile.baseline_s").set(baseline_s)
+    obs.gauge("bench.profile.profiled_s").set(profiled_s)
+    obs.gauge("bench.profile.overhead_frac").set(overhead)
+    assert overhead < OVERHEAD_BUDGET, (
+        f"profiler overhead {100 * overhead:.1f}% exceeds "
+        f"{100 * OVERHEAD_BUDGET:.0f}% budget "
+        f"(baseline {baseline_s:.3f}s, profiled {profiled_s:.3f}s)"
+    )
+    # The benchmark fixture times the bare sweep so pytest-benchmark's
+    # calibrated stats stay comparable with the other fig12 benchmarks.
+    benchmark(fig12_localization.run_fig12_ranging, n_trials=N_TRIALS, seed=12)
+    print(
+        f"\nprofiler overhead: {100 * overhead:+.1f}% "
+        f"({profiler.n_samples} samples at {profiler.hz:g} Hz)"
+    )

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ConfigurationError
+from repro.obs import stream
 from repro.parallel import parallel_map, resolve_max_workers
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.stats import ErrorSummary, summarize_errors
@@ -111,14 +112,21 @@ def run_sweep(
             points.append(SweepPoint(float(parameter), values))
         return points
     points = []
+    n_total = len(parameters) * n_trials
     for i, parameter in enumerate(parameters):
         with obs.span("sweep.point", parameter=float(parameter), trials=n_trials):
             obs.counter("sweep.points").inc()
             obs.counter("sweep.trials").inc(n_trials)
-            values = tuple(
-                float(trial(parameter, rngs[i * n_trials + j])) for j in range(n_trials)
-            )
-        points.append(SweepPoint(float(parameter), values))
+            trial_values = []
+            for j in range(n_trials):
+                trial_values.append(float(trial(parameter, rngs[i * n_trials + j])))
+                # Heartbeats (no-ops unless enabled) count finished
+                # trials across the whole sweep, labelled by the
+                # enclosing sweep.point span; the final trial always
+                # beats so a 100% line closes the stream.
+                done = i * n_trials + j + 1
+                stream.tick(done=done, total=n_total, force=done == n_total)
+        points.append(SweepPoint(float(parameter), tuple(trial_values)))
     return points
 
 

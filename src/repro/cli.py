@@ -20,17 +20,29 @@ a suspected kernel bug.
 with degradation curves and the ARQ invariant check), and ``run
 --faults SPEC`` runs any experiment under an active fault plan — see
 ``docs/ROBUSTNESS.md``.
+
+Runtime telemetry: ``--profile`` arms the sampling profiler and writes a
+self-contained flamegraph HTML; ``--heartbeat SECONDS`` streams progress
+snapshots to stderr during long sweeps; ``repro obs report`` aggregates
+a recorded trace into a span report; ``repro obs regress`` diffs fresh
+gauges against a baseline and can gate CI — see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable
 
 from repro import faults, kernels, obs
 from repro.errors import FaultInjectionError
 from repro.faults import campaign as faults_campaign
+from repro.obs import regress as obs_regress
+from repro.obs import report as obs_report
+from repro.obs import stream as obs_stream
+from repro.obs.profile import SamplingProfiler
 from repro.experiments import (
     ablations,
     coverage_map,
@@ -151,6 +163,39 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print a metrics/span roll-up after the experiment output",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="arm the sampling profiler for this run (rate: "
+        "$REPRO_PROFILE_HZ or 97 Hz; see docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default="flamegraph.html",
+        help="flamegraph HTML written when --profile is set "
+        "(default: flamegraph.html)",
+    )
+    parser.add_argument(
+        "--profile-collapsed",
+        metavar="PATH",
+        default=None,
+        help="also write the collapsed-stack dump to PATH (--profile only)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="emit progress heartbeats to stderr at most every SECONDS "
+        "(0 disables; default: $REPRO_HEARTBEAT_S or off)",
+    )
+    parser.add_argument(
+        "--heartbeat-out",
+        metavar="PATH",
+        default=None,
+        help="also append heartbeat JSONL records to PATH",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -230,6 +275,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) when the ARQ resilience invariant is violated",
     )
     _add_execution_args(fl)
+    ob = sub.add_parser("obs", help="inspect and gate observability artifacts")
+    obs_sub = ob.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report", help="aggregate a JSONL trace into a span report"
+    )
+    report.add_argument(
+        "--trace", metavar="PATH", required=True, help="JSONL trace to aggregate"
+    )
+    report.add_argument(
+        "--format",
+        choices=("text", "json", "html"),
+        default="text",
+        help="output format (default text)",
+    )
+    report.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="rows in the aggregate table (default 20)",
+    )
+    report.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the report to PATH instead of stdout",
+    )
+    regress = obs_sub.add_parser(
+        "regress", help="diff fresh gauges against a recorded baseline"
+    )
+    regress.add_argument(
+        "--baseline",
+        metavar="PATH",
+        required=True,
+        help="baseline document (BENCH_obs.json or metrics.json)",
+    )
+    regress.add_argument(
+        "--current",
+        metavar="PATH",
+        required=True,
+        help="fresh document to compare against the baseline",
+    )
+    regress.add_argument(
+        "--tolerance",
+        metavar="NAME=FRACTION",
+        action="append",
+        default=None,
+        help="per-gauge relative tolerance override (repeatable)",
+    )
+    regress.add_argument(
+        "--default-tolerance",
+        type=float,
+        default=obs_regress.DEFAULT_TOLERANCE,
+        help=f"relative tolerance band (default {obs_regress.DEFAULT_TOLERANCE})",
+    )
+    regress.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when any gauge regresses beyond its tolerance",
+    )
+    regress.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    regress.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show ok rows in the verdict table too",
+    )
     return parser
 
 
@@ -269,6 +384,42 @@ def _run_faults_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_obs_report(args: argparse.Namespace) -> int:
+    """Execute ``repro obs report``."""
+    spans, problems = obs_report.load_trace_spans(args.trace)
+    if args.format == "json":
+        output = json.dumps(
+            obs_report.report_document(spans, problems), indent=2, sort_keys=True
+        )
+    elif args.format == "html":
+        output = obs_report.render_report_html(spans, top=args.top, problems=problems)
+    else:
+        output = obs_report.render_report_text(spans, top=args.top, problems=problems)
+    if args.out is not None:
+        Path(args.out).write_text(output + "\n", encoding="utf-8")
+    else:
+        print(output)  # milback: disable=ML007 — CLI output
+    return 0
+
+
+def _run_obs_regress(args: argparse.Namespace) -> int:
+    """Execute ``repro obs regress``; exit 1 only when gating and regressed."""
+    comparisons = obs_regress.compare_documents(
+        obs_regress.load_gauges(args.baseline),
+        obs_regress.load_gauges(args.current),
+        default_tolerance=args.default_tolerance,
+        overrides=obs_regress.parse_tolerance_overrides(args.tolerance),
+    )
+    if args.format == "json":
+        document = obs_regress.regress_document(comparisons)
+        print(json.dumps(document, indent=2, sort_keys=True))  # milback: disable=ML007 — CLI output
+    else:
+        print(obs_regress.render_verdict_table(comparisons, verbose=args.verbose))  # milback: disable=ML007 — CLI output
+    if args.fail_on_regression and obs_regress.has_regressions(comparisons):
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -277,6 +428,11 @@ def main(argv: list[str] | None = None) -> int:
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}")  # milback: disable=ML007 — CLI output
         return 0
+    if args.command == "obs":
+        obs.reset()
+        if args.obs_command == "report":
+            return _run_obs_report(args)
+        return _run_obs_regress(args)
     if args.command == "run" and args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(  # milback: disable=ML007 — CLI output
             f"unknown experiment {args.experiment!r}; "
@@ -289,6 +445,10 @@ def main(argv: list[str] | None = None) -> int:
     # One invocation = one observation window: artifacts must describe
     # exactly this run, so clear anything import-time code recorded.
     obs.reset()
+    obs_stream.configure(interval_s=args.heartbeat, jsonl_path=args.heartbeat_out)
+    profiler = SamplingProfiler() if args.profile else None
+    if profiler is not None:
+        profiler.start()
     try:
         if args.command == "faults":
             with obs.span("cli.faults", kinds=args.kinds, rates=args.rates):
@@ -308,6 +468,16 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         # Artifacts are written even when an experiment raises — a
         # partial trace of a crashed sweep is exactly what you debug with.
+        # The profiler stops first so profile.samples/profile.hz land in
+        # the metrics snapshot written below.
+        if profiler is not None:
+            profiler.stop()
+            profiler.write_flamegraph_html(
+                args.profile_out, title=f"repro {args.command}"
+            )
+            if args.profile_collapsed is not None:
+                profiler.write_collapsed(args.profile_collapsed)
+        obs_stream.configure(interval_s=0.0)
         if args.trace is not None:
             obs.write_trace_jsonl(args.trace, obs.get_tracer())
         if args.metrics_out is not None:

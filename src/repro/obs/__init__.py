@@ -10,6 +10,21 @@ A dependency-free observability layer with three pieces:
 * **exporters** (:mod:`repro.obs.export`): human-readable text summary,
   JSONL trace dump, and a versioned ``metrics.json`` snapshot.
 
+Runtime telemetry extends the post-hoc core with four pieces:
+
+* a **sampling profiler** (:mod:`repro.obs.profile`) attributing hot
+  frames to the active span stack, with collapsed-stack and
+  self-contained HTML flamegraph exporters (``--profile``);
+* **span-tree aggregation** (:mod:`repro.obs.report`) over trace JSONL:
+  inclusive/exclusive time, call counts, critical path
+  (``repro obs report``);
+* **live heartbeats** (:mod:`repro.obs.stream`): bounded ring-buffer
+  progress snapshots from long sweeps and campaigns
+  (``--heartbeat``/``$REPRO_HEARTBEAT_S``);
+* a **bench-regression gate** (:mod:`repro.obs.regress`) diffing fresh
+  ``BENCH_obs.json``/``metrics.json`` gauges against a recorded
+  baseline with tolerance bands (``repro obs regress``).
+
 The simulator engine, the protocol layer, every experiment entry point
 and the CLI are instrumented against the process-wide defaults in
 :mod:`repro.obs.runtime`; the protocol's simulated-time
@@ -45,6 +60,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     metric_key,
 )
+from repro.obs.profile import SamplingProfiler
 from repro.obs.runtime import (
     counter,
     event,
@@ -56,6 +72,7 @@ from repro.obs.runtime import (
     span,
     traced,
 )
+from repro.obs.stream import HeartbeatEmitter
 from repro.obs.tracing import Span, TraceEvent, Tracer
 
 __all__ = [
@@ -87,4 +104,7 @@ __all__ = [
     "render_text_summary",
     "write_metrics_json",
     "write_trace_jsonl",
+    # runtime telemetry
+    "SamplingProfiler",
+    "HeartbeatEmitter",
 ]

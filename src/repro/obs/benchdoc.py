@@ -1,0 +1,146 @@
+"""The ``BENCH_obs.json`` document: schema, merge, and history.
+
+``benchmarks/conftest.py`` writes one entry per benchmark nodeid plus a
+full metrics snapshot. Before this module, every pytest session
+*clobbered* the file — running only the lint benchmark erased the
+kernel/parallel gauges and destroyed the very perf trajectory
+``repro obs regress`` diffs against. Sessions now **merge**: entries
+for re-run benchmarks are updated in place and grow a bounded
+``history`` list (newest last), entries for benchmarks the session did
+not touch survive untouched, and metrics merge key-wise with the fresh
+snapshot winning.
+
+Schema (``version`` 2)::
+
+    {"version": 2, "generator": "repro.obs benchmark harness",
+     "benchmarks": {nodeid: {"wall_s": ..., "outcome": "ok",
+                             ["mean_s": ..., "rounds": ...],
+                             "history": [{...}, ...]}},   # <= HISTORY_LIMIT
+     "metrics": {flat key: metric dict}}
+
+Version-1 documents (no ``history``) load transparently: their single
+entry seeds the history on the next merge.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from statistics import median
+from typing import Any, Mapping
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "HISTORY_LIMIT",  # milback: disable=ML014 — public tuning knob (tests, conftest)
+    "load_bench_document",
+    "merge_bench_document",
+    "history_values",
+    "baseline_value",
+]
+
+#: Bumped when the BENCH_obs.json schema changes shape.
+BENCH_SCHEMA_VERSION = 2
+
+#: Per-benchmark history entries kept (newest last); bounds file growth.
+HISTORY_LIMIT = 12
+
+#: The per-run fields copied into a history item.
+_HISTORY_FIELDS = ("wall_s", "mean_s", "rounds", "outcome")
+
+
+def load_bench_document(path: str | Path) -> dict[str, Any] | None:
+    """Parse an existing document; None when missing or unreadable.
+
+    A corrupt half-written file must never block a benchmark session, so
+    parse failures degrade to "no prior document".
+    """
+    target = Path(path)
+    if not target.is_file():
+        return None
+    try:
+        document = json.loads(target.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        return None
+    if not isinstance(document, dict) or not isinstance(
+        document.get("benchmarks"), dict
+    ):
+        return None
+    return document
+
+
+def _history_item(entry: Mapping[str, Any]) -> dict[str, Any]:
+    return {key: entry[key] for key in _HISTORY_FIELDS if key in entry}
+
+
+def merge_bench_document(
+    existing: Mapping[str, Any] | None,
+    results: Mapping[str, Mapping[str, Any]],
+    metrics_snapshot: Mapping[str, Any],
+    generator: str = "repro.obs benchmark harness",
+    history_limit: int = HISTORY_LIMIT,
+) -> dict[str, Any]:
+    """Fold one session's ``results`` into the prior document.
+
+    ``results`` maps nodeid to the fresh per-run fields (``wall_s``,
+    ``outcome``, optionally ``mean_s``/``rounds``). Prior entries for
+    other nodeids are preserved verbatim; re-run entries keep a bounded
+    ``history`` of their past runs with the fresh run appended.
+    """
+    benchmarks: dict[str, Any] = {}
+    if existing is not None:
+        for nodeid, entry in existing["benchmarks"].items():
+            if isinstance(entry, dict):
+                benchmarks[nodeid] = dict(entry)
+    for nodeid, fresh in results.items():
+        prior = benchmarks.get(nodeid)
+        history: list[dict[str, Any]] = []
+        if prior is not None:
+            raw_history = prior.get("history")
+            if isinstance(raw_history, list):
+                history = [item for item in raw_history if isinstance(item, dict)]
+            else:
+                # Version-1 entry: its single run seeds the history.
+                history = [_history_item(prior)]
+        entry = dict(fresh)
+        history = (history + [_history_item(entry)])[-history_limit:]
+        entry["history"] = history
+        benchmarks[nodeid] = entry
+    metrics: dict[str, Any] = {}
+    if existing is not None and isinstance(existing.get("metrics"), dict):
+        metrics.update(existing["metrics"])
+    metrics.update(metrics_snapshot)
+    return {
+        "version": BENCH_SCHEMA_VERSION,
+        "generator": generator,
+        "benchmarks": dict(sorted(benchmarks.items())),
+        "metrics": metrics,
+    }
+
+
+def history_values(entry: Mapping[str, Any], field: str) -> list[float]:
+    """The numeric trajectory of one per-run field, oldest first.
+
+    Falls back to the entry's own latest value when no history exists
+    (version-1 documents).
+    """
+    values: list[float] = []
+    raw_history = entry.get("history")
+    if isinstance(raw_history, list):
+        for item in raw_history:
+            if isinstance(item, dict) and isinstance(item.get(field), (int, float)):
+                values.append(float(item[field]))
+    if not values and isinstance(entry.get(field), (int, float)):
+        values.append(float(entry[field]))
+    return values
+
+
+def baseline_value(entry: Mapping[str, Any], field: str) -> float | None:
+    """The robust baseline for one field: median of its history.
+
+    The median shrugs off the one CI run that hit a noisy neighbour,
+    which a last-value baseline would anchor on.
+    """
+    values = history_values(entry, field)
+    if not values:
+        return None
+    return float(median(values))

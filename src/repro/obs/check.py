@@ -16,6 +16,9 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.obs.report import iter_trace_records
+from repro.obs.runtime import counter
+
 __all__ = [
     "check_trace_jsonl",
     "check_metrics_json",
@@ -34,7 +37,13 @@ def check_trace_jsonl(
     min_subsystems: int = 1,
     require_nesting: bool = False,
 ) -> list[str]:
-    """Validate a JSONL trace; returns a list of problems (empty = ok)."""
+    """Validate a JSONL trace; returns a list of problems (empty = ok).
+
+    Corrupt lines — truncated tail writes, invalid JSON, non-object
+    payloads, spans with malformed field types — are each reported as
+    one problem and counted on ``obs.check.bad_lines``; they never
+    abort validation of the rest of the file.
+    """
     problems: list[str] = []
     target = Path(path)
     if not target.is_file():
@@ -43,33 +52,50 @@ def check_trace_jsonl(
     max_depth = -1
     span_ids: set[int] = set()
     parent_ids: set[int] = set()
-    for lineno, line in enumerate(target.read_text(encoding="utf-8").splitlines(), 1):
-        if not line.strip():
+    bad_lines = 0
+    for lineno, record, parse_problem in iter_trace_records(target):
+        if parse_problem is not None:
+            problems.append(f"{target}:{lineno}: {parse_problem}")
+            bad_lines += 1
             continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            problems.append(f"{target}:{lineno}: not valid JSON ({exc.msg})")
-            continue
+        assert record is not None
         kind = record.get("type")
         if kind == "span":
             missing = _SPAN_KEYS - record.keys()
             if missing:
                 problems.append(f"{target}:{lineno}: span missing {sorted(missing)}")
+                bad_lines += 1
                 continue
-            if record["duration_s"] < 0:
+            try:
+                duration_s = float(record["duration_s"])
+                depth = int(record["depth"])
+                span_id = int(record["span_id"])
+                parent_raw = record["parent_id"]
+                parent_id = None if parent_raw is None else int(parent_raw)
+            except (TypeError, ValueError):
+                problems.append(
+                    f"{target}:{lineno}: span fields have malformed types"
+                )
+                bad_lines += 1
+                continue
+            if duration_s < 0:
                 problems.append(f"{target}:{lineno}: negative span duration")
             subsystems.add(str(record["name"]).split(".", 1)[0])
-            max_depth = max(max_depth, int(record["depth"]))
-            span_ids.add(int(record["span_id"]))
-            if record["parent_id"] is not None:
-                parent_ids.add(int(record["parent_id"]))
+            max_depth = max(max_depth, depth)
+            span_ids.add(span_id)
+            if parent_id is not None:
+                parent_ids.add(parent_id)
         elif kind == "event":
             missing = _EVENT_KEYS - record.keys()
             if missing:
                 problems.append(f"{target}:{lineno}: event missing {sorted(missing)}")
+                bad_lines += 1
         else:
             problems.append(f"{target}:{lineno}: unknown record type {kind!r}")
+            bad_lines += 1
+    if bad_lines:
+        counter("obs.check.bad_lines").inc(bad_lines)
+        problems.append(f"{target}: {bad_lines} malformed line(s) rejected")
     if not span_ids:
         problems.append(f"{target}: trace contains no spans")
     orphans = parent_ids - span_ids

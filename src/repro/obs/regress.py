@@ -1,0 +1,298 @@
+"""Baseline-aware perf comparison: ``repro obs regress``.
+
+Compares a fresh ``BENCH_obs.json`` or ``metrics.json`` against a
+recorded baseline with per-gauge tolerance bands and a
+direction-of-badness per metric name:
+
+* timings (names ending in ``_s``, and per-benchmark ``wall_s``/
+  ``mean_s``) regress when they **increase** beyond tolerance;
+* ratios (names containing ``speedup`` or ``ratio``) regress when they
+  **decrease** beyond tolerance;
+* everything else is two-sided **drift** — reported, never gating,
+  because a changed counter usually means the workload changed, not
+  that it got slower.
+
+Baselines exploit the bounded per-benchmark ``history`` kept by
+``benchmarks/conftest.py`` (see :mod:`repro.obs.benchdoc`): the
+baseline value of a benchmark timing is the *median* of its recorded
+history, so one noisy CI run cannot move the bar.
+
+The CLI prints a verdict table (text or JSON) and exits non-zero only
+with ``--fail-on-regression`` — CI runs it soft-fail first, then flips
+the flag once the baseline trajectory has enough history to be stable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.obs.benchdoc import baseline_value
+from repro.obs.runtime import counter
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "GaugeComparison",  # milback: disable=ML014 — public comparison record type
+    "direction_for",
+    "extract_gauges",
+    "load_gauges",
+    "compare_documents",
+    "parse_tolerance_overrides",
+    "regress_document",
+    "render_verdict_table",
+    "has_regressions",
+]
+
+#: Default relative tolerance band (20%): CI timing noise lives inside.
+DEFAULT_TOLERANCE = 0.2
+
+#: Verdicts that gate ``--fail-on-regression``.
+_GATING = frozenset({"regression"})
+
+
+def direction_for(name: str) -> str:
+    """The direction-of-badness for one gauge name.
+
+    ``higher_is_worse`` for timings, ``lower_is_worse`` for speedups and
+    ratios, ``two_sided`` otherwise.
+    """
+    leaf = name.rsplit("::", 1)[-1]
+    if "speedup" in leaf or "ratio" in leaf:
+        return "lower_is_worse"
+    if leaf.endswith("_s"):
+        return "higher_is_worse"
+    return "two_sided"
+
+
+@dataclass(frozen=True)
+class GaugeComparison:
+    """One gauge's verdict."""
+
+    name: str
+    baseline: float | None
+    current: float | None
+    delta_frac: float | None
+    tolerance: float
+    direction: str
+    verdict: str  # ok | regression | improvement | drift | new | missing
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "baseline": self.baseline,
+            "current": self.current,
+            "delta_frac": self.delta_frac,
+            "tolerance": self.tolerance,
+            "direction": self.direction,
+            "verdict": self.verdict,
+        }
+
+
+def extract_gauges(document: Mapping[str, Any]) -> dict[str, float]:
+    """Comparable scalars from a metrics or BENCH_obs document.
+
+    * every ``type: gauge`` metric contributes its value under its flat
+      key;
+    * every per-benchmark entry contributes ``<nodeid>::wall_s`` and
+      (when calibrated) ``<nodeid>::mean_s`` — baselined on the median
+      of the entry's history, currents on the latest run.
+    """
+    gauges: dict[str, float] = {}
+    metrics = document.get("metrics")
+    if isinstance(metrics, dict):
+        for key, entry in metrics.items():
+            if isinstance(entry, dict) and entry.get("type") == "gauge":
+                value = entry.get("value")
+                if isinstance(value, (int, float)):
+                    gauges[str(key)] = float(value)
+    benchmarks = document.get("benchmarks")
+    if isinstance(benchmarks, dict):
+        for nodeid, entry in benchmarks.items():
+            if not isinstance(entry, dict):
+                continue
+            for field in ("wall_s", "mean_s"):
+                value = baseline_value(entry, field)
+                if value is not None:
+                    gauges[f"{nodeid}::{field}"] = value
+    return gauges
+
+
+def load_gauges(path: str | Path) -> dict[str, float]:
+    """Gauges from a document on disk; raises on unreadable input."""
+    target = Path(path)
+    if not target.is_file():
+        raise ConfigurationError(f"comparison document missing: {target}")
+    try:
+        document = json.loads(target.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{target} is not valid JSON: {exc.msg}") from None
+    if not isinstance(document, dict):
+        raise ConfigurationError(f"{target}: top level must be an object")
+    return extract_gauges(document)
+
+
+def parse_tolerance_overrides(raw: list[str] | None) -> dict[str, float]:
+    """``["name=0.5", ...]`` → ``{"name": 0.5}`` with validation."""
+    overrides: dict[str, float] = {}
+    for item in raw or []:
+        name, separator, value = item.partition("=")
+        if not separator or not name.strip():
+            raise ConfigurationError(
+                f"tolerance override {item!r} is not NAME=FRACTION"
+            )
+        try:
+            fraction = float(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"tolerance override {item!r} has a non-numeric fraction"
+            ) from None
+        if fraction < 0:
+            raise ConfigurationError(
+                f"tolerance override {item!r} must be non-negative"
+            )
+        overrides[name.strip()] = fraction
+    return overrides
+
+
+def _verdict(
+    baseline: float, current: float, tolerance: float, direction: str
+) -> tuple[str, float | None]:
+    # Exact-zero guards, not tolerance comparisons: a recorded 0.0 means
+    # "this gauge was never set", and any epsilon would misclassify
+    # legitimate tiny baselines as unset.
+    if baseline == 0.0:  # milback: disable=ML003 — exact sentinel check
+        if current == 0.0:  # milback: disable=ML003 — exact sentinel check
+            return "ok", 0.0
+        # No meaningful relative delta; report, never gate.
+        return "drift", None
+    delta = (current - baseline) / abs(baseline)
+    if direction == "higher_is_worse":
+        if delta > tolerance:
+            return "regression", delta
+        if delta < -tolerance:
+            return "improvement", delta
+    elif direction == "lower_is_worse":
+        if delta < -tolerance:
+            return "regression", delta
+        if delta > tolerance:
+            return "improvement", delta
+    else:
+        if abs(delta) > tolerance:
+            return "drift", delta
+    return "ok", delta
+
+
+def compare_documents(
+    baseline: Mapping[str, float],
+    current: Mapping[str, float],
+    default_tolerance: float = DEFAULT_TOLERANCE,
+    overrides: Mapping[str, float] | None = None,
+) -> list[GaugeComparison]:
+    """Per-gauge verdicts over the union of both gauge sets.
+
+    Gauges present on only one side yield informational ``new``/
+    ``missing`` rows (neither gates): a renamed benchmark should be
+    visible in the table, not silently dropped from the diff.
+    """
+    if default_tolerance < 0:
+        raise ConfigurationError(
+            f"default tolerance must be non-negative, got {default_tolerance}"
+        )
+    overrides = dict(overrides or {})
+    comparisons: list[GaugeComparison] = []
+    for name in sorted(baseline.keys() | current.keys()):
+        tolerance = overrides.get(name, default_tolerance)
+        direction = direction_for(name)
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            verdict, delta = "new", None
+        elif cur is None:
+            verdict, delta = "missing", None
+        else:
+            verdict, delta = _verdict(base, cur, tolerance, direction)
+        comparisons.append(
+            GaugeComparison(
+                name=name,
+                baseline=base,
+                current=cur,
+                delta_frac=delta,
+                tolerance=tolerance,
+                direction=direction,
+                verdict=verdict,
+            )
+        )
+    counter("regress.compared").inc(len(comparisons))
+    n_regressions = sum(1 for c in comparisons if c.verdict == "regression")
+    if n_regressions:
+        counter("regress.regressions").inc(n_regressions)
+    n_improvements = sum(1 for c in comparisons if c.verdict == "improvement")
+    if n_improvements:
+        counter("regress.improvements").inc(n_improvements)
+    return comparisons
+
+
+def has_regressions(comparisons: list[GaugeComparison]) -> bool:
+    """True when any verdict gates ``--fail-on-regression``."""
+    return any(c.verdict in _GATING for c in comparisons)
+
+
+def regress_document(comparisons: list[GaugeComparison]) -> dict[str, Any]:
+    """The JSON payload behind ``repro obs regress --format json``."""
+    by_verdict: dict[str, int] = {}
+    for comparison in comparisons:
+        by_verdict[comparison.verdict] = by_verdict.get(comparison.verdict, 0) + 1
+    return {
+        "generator": "repro.obs.regress",
+        "version": 1,
+        "n_compared": len(comparisons),
+        "verdict_counts": dict(sorted(by_verdict.items())),
+        "regression": has_regressions(comparisons),
+        "comparisons": [c.to_dict() for c in comparisons],
+    }
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.6g}"
+
+
+def render_verdict_table(
+    comparisons: list[GaugeComparison], verbose: bool = False
+) -> str:
+    """The human verdict table.
+
+    By default only non-``ok`` rows print (plus a summary line); pass
+    ``verbose=True`` for every compared gauge.
+    """
+    shown = [c for c in comparisons if verbose or c.verdict != "ok"]
+    n_ok = sum(1 for c in comparisons if c.verdict == "ok")
+    lines = [
+        f"== obs regress: {len(comparisons)} gauge(s) compared, "
+        f"{n_ok} ok, {len(comparisons) - n_ok} flagged =="
+    ]
+    if shown:
+        name_width = max(len(c.name) for c in shown)
+        lines.append(
+            f"{'name'.ljust(name_width)}  {'baseline':>12}  {'current':>12}  "
+            f"{'delta':>8}  {'tol':>6}  verdict"
+        )
+        for comparison in shown:
+            delta = (
+                f"{100.0 * comparison.delta_frac:+.1f}%"
+                if comparison.delta_frac is not None
+                else "-"
+            )
+            lines.append(
+                f"{comparison.name.ljust(name_width)}  "
+                f"{_fmt(comparison.baseline):>12}  {_fmt(comparison.current):>12}  "
+                f"{delta:>8}  {100.0 * comparison.tolerance:>5.0f}%  "
+                f"{comparison.verdict}"
+            )
+    verdict = "REGRESSION" if has_regressions(comparisons) else "ok"
+    lines.append(f"overall: {verdict}")
+    return "\n".join(lines)

@@ -33,12 +33,14 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro import obs
 from repro.errors import ConfigurationError
+from repro.obs import stream
 
 __all__ = [
     "DEFAULT_WORKERS_ENV",
@@ -128,6 +130,15 @@ def _run_chunk(payloads: list[Any]) -> tuple[list[Any], dict, list[dict], list[d
     return values, state, spans, events, t0
 
 
+def _serial_loop(fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+    """In-process execution with live heartbeats (no-ops when disabled)."""
+    values = []
+    for i, item in enumerate(items):
+        values.append(fn(item))
+        stream.tick(done=i + 1, total=len(items), force=i + 1 == len(items))
+    return values
+
+
 def _serial_fallback(
     fn: Callable[[Any], Any],
     items: Sequence[Any],
@@ -136,7 +147,7 @@ def _serial_fallback(
 ) -> ParallelResult:
     obs.counter("parallel.fallbacks", reason=reason).inc()
     return ParallelResult(
-        values=[fn(item) for item in items],
+        values=_serial_loop(fn, items),
         workers=1,
         n_chunks=0,
         fallback_reason=reason,
@@ -163,7 +174,7 @@ def parallel_map(
         # Intentional serial execution, not a degradation — no fallback
         # counter, so parallel.fallbacks only ever flags real failures.
         return ParallelResult(
-            values=[fn(item) for item in items],
+            values=_serial_loop(fn, items),
             workers=1,
             n_chunks=0,
             fallback_reason="serial",
@@ -194,14 +205,39 @@ def parallel_map(
                 for chunk in chunks:
                     dispatch_s.append(time.perf_counter())
                     futures.append(pool.submit(_run_chunk, [items[i] for i in chunk]))
+                emitter = stream.get_emitter()
                 values: list[Any] = []
                 for future, dispatched in zip(futures, dispatch_s):
-                    chunk_values, state, spans, events, t0 = future.result()
+                    while True:
+                        try:
+                            # Bounded waits keep the heartbeat channel
+                            # live while chunks are in flight; with
+                            # heartbeats disabled this is a plain
+                            # blocking result() and costs nothing.
+                            chunk_values, state, spans, events, t0 = future.result(
+                                timeout=emitter.interval_s if emitter else None
+                            )
+                            break
+                        except FutureTimeoutError:
+                            done_items = sum(
+                                len(chunks[i])
+                                for i, chunk_future in enumerate(futures)
+                                if chunk_future.done()
+                            )
+                            stream.tick(done=done_items, total=len(items))
                     values.extend(chunk_values)
                     offset = dispatched - t0
                     obs.get_registry().merge_state(state)
                     obs.get_tracer().absorb_spans(spans, offset_s=offset)
                     obs.get_tracer().absorb_events(events, offset_s=offset)
+                    # Merged chunk deltas become visible in the next
+                    # heartbeat's counter-delta section; the last chunk
+                    # always beats so a 100% line closes the stream.
+                    stream.tick(
+                        done=len(values),
+                        total=len(items),
+                        force=len(values) == len(items),
+                    )
             except (BrokenProcessPool, OSError) as exc:
                 # Workers died underneath us (OOM killer, container limits).
                 # The parent's RNG copies were never advanced, so the serial

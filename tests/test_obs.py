@@ -166,6 +166,90 @@ class TestTracing:
         assert second.sim_time_s == pytest.approx(1e-4)
 
 
+class TestCrossProcessAbsorption:
+    def _worker_batch(self):
+        """Finished span dicts as a forked worker would return them."""
+        worker = Tracer()
+        with worker.span("sweep.trial", parameter=1.0):
+            with worker.span("engine.burst"):
+                pass
+        with worker.span("sweep.trial", parameter=2.0):
+            pass
+        return [s.to_dict() for s in worker.finished_spans()]
+
+    def test_absorb_spans_preserves_tree_and_order(self):
+        batch = self._worker_batch()
+        parent = Tracer()
+        with parent.span("parallel.map") as host:
+            # Deliver out of id order: absorption must restore the tree.
+            parent.absorb_spans(list(reversed(batch)), offset_s=100.0)
+        spans = parent.finished_spans()
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+        trials = by_name["sweep.trial"]
+        burst = by_name["engine.burst"][0]
+        # Batch-internal parent links are remapped onto the fresh ids...
+        assert burst.parent_id in {t.span_id for t in trials}
+        # ...and batch roots hang off the absorbing span: no orphans.
+        assert all(t.parent_id == host.span_id for t in trials)
+        assert all(t.depth == host.depth + 1 for t in trials)
+        assert burst.depth == host.depth + 2
+        # Ids are fresh (no collision with the parent's own spans) and
+        # the worker's id order — which is its start order — survives.
+        assert len({s.span_id for s in spans}) == len(spans)
+        assert trials[0].start_s < trials[1].start_s
+        # The foreign timeline was rebased, durations untouched.
+        assert burst.start_s >= 100.0
+        assert burst.duration_s >= 0.0
+
+    def test_absorb_events_reindexes_locally(self):
+        worker = Tracer()
+        with worker.span("sweep.trial"):
+            worker.add_event("protocol.field1", sim_time_s=0.0)
+            worker.add_event("protocol.field2", sim_time_s=1e-4)
+        batch = [e.to_dict() for e in worker.events()]
+        parent = Tracer()
+        parent.add_event("protocol.boot")  # occupies index 0 locally
+        with parent.span("parallel.map") as host:
+            parent.absorb_events(batch, offset_s=50.0)
+        events = parent.events()
+        assert [e.name for e in events] == [
+            "protocol.boot", "protocol.field1", "protocol.field2",
+        ]
+        # Worker indices (0, 1) would collide with the parent's; the
+        # absorbed events get fresh local indices in arrival order.
+        assert [e.index for e in events] == [0, 1, 2]
+        assert events[1].span_id == host.span_id
+        assert events[1].wall_s >= 50.0
+        assert events[2].sim_time_s == pytest.approx(1e-4)
+
+    def test_detach_open_spans_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("cli.run"):
+            with tracer.span("experiment.fig12") as inherited:
+                # A forked worker inherits this open stack...
+                import threading
+
+                ident = threading.get_ident()
+                assert tracer.open_stack_names(ident) == (
+                    "cli.run", "experiment.fig12",
+                )
+                tracer.detach_open_spans()
+                # ...and after detaching, new spans are roots, not
+                # children of the stale inherited ids.
+                assert tracer.current_span() is None
+                assert tracer.open_stack_names(ident) == ()
+                with tracer.span("sweep.trial") as fresh:
+                    assert fresh.parent_id is None
+                    assert fresh.depth == 0
+                    assert fresh.span_id > inherited.span_id
+        # The inherited spans were detached mid-flight, so closing their
+        # context managers must not re-register them as finished twice.
+        finished = [s.name for s in tracer.finished_spans()]
+        assert finished.count("sweep.trial") == 1
+
+
 # --- exporters ----------------------------------------------------------------------
 
 
@@ -211,6 +295,34 @@ class TestExporters:
         metrics.write_text("[]")
         assert check_metrics_json(metrics) == [f"{metrics}: top level must be an object"]
         assert check_main(["--trace", str(trace), "--metrics", str(metrics)]) == 1
+
+    def test_check_rejects_corrupt_lines_without_raising(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        good = (
+            '{"type": "span", "name": "engine.x", "span_id": 0, '
+            '"parent_id": null, "depth": 0, "start_s": 0.0, "duration_s": 0.5}'
+        )
+        bad_types = (
+            '{"type": "span", "name": "engine.y", "span_id": "seven", '
+            '"parent_id": null, "depth": 0, "start_s": 0.0, "duration_s": "z"}'
+        )
+        trace.write_text(
+            good + "\n"
+            + "[1, 2, 3]\n"  # valid JSON, not an object
+            + bad_types + "\n"
+            + '{"type": "spam"}\n'  # unknown record type
+            + '{"type": "span", "na',  # truncated tail write
+            encoding="utf-8",
+        )
+        problems = check_trace_jsonl(trace)
+        assert any("JSON object" in p for p in problems)
+        assert any("malformed types" in p for p in problems)
+        assert any("unknown record type" in p for p in problems)
+        assert any("truncated" in p for p in problems)
+        assert any("4 malformed line(s) rejected" in p for p in problems)
+        assert obs.counter("obs.check.bad_lines").value == 4.0
+        # The good line still validated: the file is not "no spans".
+        assert not any("contains no spans" in p for p in problems)
 
     def test_check_missing_files(self, tmp_path):
         assert check_trace_jsonl(tmp_path / "nope.jsonl") == [
@@ -396,6 +508,53 @@ class TestCliObsFlags:
         records = [json.loads(line) for line in trace.read_text().splitlines()]
         bridged = [r for r in records if r["type"] == "event"]
         assert bridged and all(r["sim_time_s"] is not None for r in bridged)
+
+    def test_profile_flag_writes_flamegraph(self, tmp_path, capsys, monkeypatch):
+        """Acceptance: fig12 --profile yields a flamegraph led by trace spans."""
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "500")
+        flame = tmp_path / "flamegraph.html"
+        collapsed = tmp_path / "profile.txt"
+        metrics = tmp_path / "metrics.json"
+        status = cli_main(
+            ["run", "fig12", "--trials", "3", "--profile",
+             "--profile-out", str(flame),
+             "--profile-collapsed", str(collapsed),
+             "--metrics-out", str(metrics)]
+        )
+        capsys.readouterr()
+        assert status == 0
+        text = flame.read_text(encoding="utf-8")
+        assert text.startswith("<!DOCTYPE html>")
+        # Top of the sample tree is the run's span stack, in the same
+        # vocabulary the trace uses.
+        assert "cli.run" in text
+        assert "experiment.fig12" in text
+        assert collapsed.read_text(encoding="utf-8").strip()
+        document = json.loads(metrics.read_text())
+        assert document["metrics"]["profile.hz"]["value"] == 500.0
+        assert document["metrics"]["profile.samples"]["value"] > 0
+
+    def test_heartbeat_flag_streams_progress(self, tmp_path, capsys):
+        beats = tmp_path / "beats.jsonl"
+        status = cli_main(
+            ["run", "fig12", "--trials", "2",
+             "--heartbeat", "0.0001", "--heartbeat-out", str(beats)]
+        )
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "repro: " in captured.err  # one-liners went to stderr
+        assert "sweep.point" in captured.err
+        records = [
+            json.loads(line)
+            for line in beats.read_text(encoding="utf-8").splitlines()
+        ]
+        assert records
+        assert records[-1]["done"] == records[-1]["total"] > 0
+        # The emitter is torn down with the run: nothing leaks into the
+        # next invocation.
+        from repro.obs import stream as obs_stream
+
+        assert obs_stream.get_emitter() is None
 
     def test_artifacts_written_even_when_experiment_crashes(
         self, tmp_path, capsys, monkeypatch

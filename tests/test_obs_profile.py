@@ -1,0 +1,139 @@
+"""Tests for :mod:`repro.obs.profile` — sampling profiler + flamegraphs."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    PROFILE_HZ_ENV,
+    SamplingProfiler,
+    profile,
+    render_flamegraph_html,
+    resolve_hz,
+    stacks_to_tree,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test observes only its own activity."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _busy_wait(seconds: float) -> float:
+    """Burn CPU in Python frames so the sampler has something to catch."""
+    end_s = time.perf_counter() + seconds
+    total = 0.0
+    while time.perf_counter() < end_s:
+        total += sum(i * i for i in range(200))
+    return total
+
+
+class TestResolveHz:
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_HZ_ENV, raising=False)
+        assert resolve_hz(None) == DEFAULT_HZ
+
+    def test_env_fallback_and_explicit_precedence(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_HZ_ENV, "250")
+        assert resolve_hz(None) == 250.0
+        assert resolve_hz(10.0) == 10.0
+
+    def test_rejects_garbage_and_nonpositive(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_HZ_ENV, "fast")
+        with pytest.raises(ConfigurationError):
+            resolve_hz(None)
+        with pytest.raises(ConfigurationError):
+            resolve_hz(0.0)
+        with pytest.raises(ConfigurationError):
+            resolve_hz(-5.0)
+
+
+class TestSamplingProfiler:
+    def test_samples_attribute_to_open_spans(self):
+        profiler = SamplingProfiler(hz=500)
+        with profiler:
+            with obs.span("experiment.profile_demo"):
+                with obs.span("engine.hot_loop"):
+                    _busy_wait(0.15)
+        assert profiler.n_samples > 0
+        top = dict(profiler.top_spans())
+        assert "experiment.profile_demo" in top
+        # Span names prefix the frame labels in sampled stacks.
+        assert any(
+            stack[:2] == ("experiment.profile_demo", "engine.hot_loop")
+            for stack in profiler.samples()
+        )
+        # Frame labels are module:function.
+        assert any(
+            ":" in label for stack in profiler.samples() for label in stack
+        )
+
+    def test_spanless_samples_bucket(self):
+        profiler = SamplingProfiler(hz=500)
+        with profiler:
+            _busy_wait(0.1)
+        top = dict(profiler.top_spans())
+        assert top.get("(no span)", 0) > 0
+
+    def test_records_metrics_on_stop(self):
+        with SamplingProfiler(hz=500) as profiler:
+            _busy_wait(0.05)
+        assert profiler.n_samples > 0
+        assert obs.counter("profile.samples").value == profiler.n_samples
+        assert obs.gauge("profile.hz").value == 500.0
+
+    def test_collapsed_and_flamegraph_outputs(self, tmp_path):
+        profiler = SamplingProfiler(hz=500)
+        with profiler:
+            with obs.span("experiment.demo"):
+                _busy_wait(0.1)
+        collapsed = tmp_path / "profile.txt"
+        profiler.write_collapsed(collapsed)
+        lines = collapsed.read_text(encoding="utf-8").strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack
+            assert int(count) > 0
+        html_path = tmp_path / "flame.html"
+        profiler.write_flamegraph_html(html_path)
+        text = html_path.read_text(encoding="utf-8")
+        assert text.startswith("<!DOCTYPE html>")
+        assert "experiment.demo" in text
+        assert "const ROOT" in text
+
+    def test_helper_and_idempotent_lifecycle(self):
+        profiler = profile(hz=300)
+        profiler.start()
+        profiler.start()  # idempotent while running
+        _busy_wait(0.02)
+        profiler.stop()
+        profiler.stop()  # idempotent when stopped
+        assert profiler.wall_s > 0.0
+
+
+class TestFlameTree:
+    def test_counts_merge_and_children_sort(self):
+        tree = stacks_to_tree({("a", "x"): 3, ("a", "y"): 1, ("b",): 2})
+        assert tree["name"] == "all"
+        assert tree["value"] == 6
+        assert [child["name"] for child in tree["children"]] == ["a", "b"]
+        a = tree["children"][0]
+        assert a["value"] == 4
+        assert [c["name"] for c in a["children"]] == ["x", "y"]
+        assert "children" not in tree["children"][1]
+
+    def test_render_escapes_title(self):
+        text = render_flamegraph_html(
+            stacks_to_tree({("f",): 1}), title="<script>"
+        )
+        assert "&lt;script&gt;" in text
+        assert '"value": 1' in text

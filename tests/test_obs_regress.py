@@ -1,0 +1,261 @@
+"""Tests for :mod:`repro.obs.regress` and :mod:`repro.obs.benchdoc`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.obs.benchdoc import (
+    BENCH_SCHEMA_VERSION,
+    baseline_value,
+    history_values,
+    load_bench_document,
+    merge_bench_document,
+)
+from repro.obs.regress import (
+    compare_documents,
+    direction_for,
+    extract_gauges,
+    has_regressions,
+    load_gauges,
+    parse_tolerance_overrides,
+    regress_document,
+    render_verdict_table,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _bench_doc(wall_s, history=None, extra_metrics=None):
+    entry = {"wall_s": wall_s, "outcome": "ok"}
+    if history is not None:
+        entry["history"] = history
+    return {
+        "version": BENCH_SCHEMA_VERSION,
+        "generator": "repro.obs benchmark harness",
+        "benchmarks": {"benchmarks/test_x.py::test_bench": entry},
+        "metrics": dict(extra_metrics or {}),
+    }
+
+
+class TestBenchDocument:
+    def test_load_missing_or_corrupt_is_none(self, tmp_path):
+        assert load_bench_document(tmp_path / "nope.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{half a doc", encoding="utf-8")
+        assert load_bench_document(bad) is None
+        shapeless = tmp_path / "shapeless.json"
+        shapeless.write_text('{"benchmarks": 3}', encoding="utf-8")
+        assert load_bench_document(shapeless) is None
+
+    def test_merge_preserves_untouched_entries(self):
+        existing = {
+            "version": BENCH_SCHEMA_VERSION,
+            "benchmarks": {
+                "old::bench": {"wall_s": 2.0, "outcome": "ok",
+                               "history": [{"wall_s": 2.0}]},
+            },
+            "metrics": {"kernels.speedup": {"type": "gauge", "value": 3.0}},
+        }
+        merged = merge_bench_document(
+            existing,
+            {"new::bench": {"wall_s": 1.0, "outcome": "ok"}},
+            {"parallel.workers": {"type": "gauge", "value": 2.0}},
+        )
+        assert merged["version"] == BENCH_SCHEMA_VERSION
+        assert set(merged["benchmarks"]) == {"old::bench", "new::bench"}
+        assert merged["benchmarks"]["old::bench"]["history"] == [{"wall_s": 2.0}]
+        # Prior metrics survive; fresh snapshot wins on collisions.
+        assert set(merged["metrics"]) == {"kernels.speedup", "parallel.workers"}
+
+    def test_merge_appends_bounded_history(self):
+        document = None
+        for i in range(20):
+            document = merge_bench_document(
+                document,
+                {"b::t": {"wall_s": float(i), "outcome": "ok"}},
+                {},
+                history_limit=5,
+            )
+        entry = document["benchmarks"]["b::t"]
+        assert entry["wall_s"] == 19.0
+        assert [item["wall_s"] for item in entry["history"]] == [
+            15.0, 16.0, 17.0, 18.0, 19.0,
+        ]
+
+    def test_version1_entry_seeds_history(self):
+        existing = {
+            "version": 1,
+            "benchmarks": {"b::t": {"wall_s": 3.0, "outcome": "ok"}},
+            "metrics": {},
+        }
+        merged = merge_bench_document(
+            existing, {"b::t": {"wall_s": 4.0, "outcome": "ok"}}, {}
+        )
+        assert [item["wall_s"] for item in
+                merged["benchmarks"]["b::t"]["history"]] == [3.0, 4.0]
+
+    def test_history_values_and_median_baseline(self):
+        entry = {"wall_s": 9.0,
+                 "history": [{"wall_s": 1.0}, {"wall_s": 5.0}, {"wall_s": 2.0}]}
+        assert history_values(entry, "wall_s") == [1.0, 5.0, 2.0]
+        assert baseline_value(entry, "wall_s") == 2.0  # median, not latest
+        # No history: the entry's own value is the trajectory.
+        assert baseline_value({"wall_s": 7.0}, "wall_s") == 7.0
+        assert baseline_value({"outcome": "ok"}, "wall_s") is None
+
+
+class TestDirections:
+    def test_direction_of_badness(self):
+        assert direction_for("bench.fig12.wall_s") == "higher_is_worse"
+        assert direction_for("a::b::wall_s") == "higher_is_worse"
+        assert direction_for("kernels.speedup") == "lower_is_worse"
+        assert direction_for("cache.hit_ratio") == "lower_is_worse"
+        assert direction_for("parallel.workers") == "two_sided"
+
+
+class TestCompare:
+    def test_verdicts(self):
+        baseline = {"t_s": 1.0, "x.speedup": 4.0, "count": 10.0,
+                    "gone_s": 1.0, "zero": 0.0}
+        current = {"t_s": 1.5, "x.speedup": 2.0, "count": 20.0,
+                   "fresh_s": 1.0, "zero": 3.0}
+        by_name = {
+            c.name: c for c in compare_documents(baseline, current)
+        }
+        assert by_name["t_s"].verdict == "regression"
+        assert by_name["t_s"].delta_frac == pytest.approx(0.5)
+        assert by_name["x.speedup"].verdict == "regression"
+        assert by_name["count"].verdict == "drift"  # two-sided, never gates
+        assert by_name["gone_s"].verdict == "missing"
+        assert by_name["fresh_s"].verdict == "new"
+        assert by_name["zero"].verdict == "drift"  # zero baseline: no ratio
+        assert by_name["zero"].delta_frac is None
+        assert has_regressions(list(by_name.values()))
+        assert obs.counter("regress.compared").value == 6.0
+        assert obs.counter("regress.regressions").value == 2.0
+
+    def test_improvement_and_tolerance_band(self):
+        comparisons = compare_documents({"t_s": 1.0}, {"t_s": 0.7})
+        assert comparisons[0].verdict == "improvement"
+        comparisons = compare_documents({"t_s": 1.0}, {"t_s": 1.15})
+        assert comparisons[0].verdict == "ok"  # inside the 20% band
+        assert not has_regressions(comparisons)
+
+    def test_overrides_widen_the_band(self):
+        comparisons = compare_documents(
+            {"t_s": 1.0}, {"t_s": 1.5}, overrides={"t_s": 0.6}
+        )
+        assert comparisons[0].verdict == "ok"
+        with pytest.raises(ConfigurationError):
+            compare_documents({}, {}, default_tolerance=-0.1)
+
+    def test_parse_overrides(self):
+        assert parse_tolerance_overrides(["a=0.5", "b::c=0"]) == {
+            "a": 0.5, "b::c": 0.0,
+        }
+        assert parse_tolerance_overrides(None) == {}
+        for bad in ["noequals", "=0.5", "a=lots", "a=-1"]:
+            with pytest.raises(ConfigurationError):
+                parse_tolerance_overrides([bad])
+
+
+class TestExtraction:
+    def test_gauges_from_metrics_and_benchmark_history(self):
+        document = _bench_doc(
+            9.0,
+            history=[{"wall_s": 1.0}, {"wall_s": 5.0}, {"wall_s": 2.0}],
+            extra_metrics={
+                "kernels.speedup": {"type": "gauge", "value": 3.0},
+                "cli.runs": {"type": "counter", "value": 4.0},
+            },
+        )
+        gauges = extract_gauges(document)
+        assert gauges["kernels.speedup"] == 3.0
+        assert "cli.runs" not in gauges  # counters are not comparable gauges
+        assert gauges["benchmarks/test_x.py::test_bench::wall_s"] == 2.0
+
+    def test_load_gauges_errors(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_gauges(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("nope", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_gauges(bad)
+        array = tmp_path / "array.json"
+        array.write_text("[]", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_gauges(array)
+
+
+class TestRendering:
+    def test_verdict_table(self):
+        comparisons = compare_documents({"t_s": 1.0, "u_s": 1.0},
+                                        {"t_s": 1.6, "u_s": 1.0})
+        table = render_verdict_table(comparisons)
+        assert "1 ok, 1 flagged" in table
+        assert "t_s" in table and "+60.0%" in table
+        assert "u_s" not in table  # ok rows hidden by default
+        assert "overall: REGRESSION" in table
+        verbose = render_verdict_table(comparisons, verbose=True)
+        assert "u_s" in verbose
+
+    def test_document_schema(self):
+        comparisons = compare_documents({"t_s": 1.0}, {"t_s": 1.6})
+        document = regress_document(comparisons)
+        assert document["version"] == 1
+        assert document["regression"] is True
+        assert document["verdict_counts"] == {"regression": 1}
+
+
+class TestCli:
+    def _write(self, path, document):
+        path.write_text(json.dumps(document), encoding="utf-8")
+
+    def test_seeded_regression_gates(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        self._write(baseline, _bench_doc(1.0))
+        self._write(current, _bench_doc(1.6))
+        assert cli_main([
+            "obs", "regress", "--baseline", str(baseline),
+            "--current", str(current), "--fail-on-regression",
+        ]) == 1
+        assert "overall: REGRESSION" in capsys.readouterr().out
+        # Without the gate flag the same diff reports but exits 0.
+        assert cli_main([
+            "obs", "regress", "--baseline", str(baseline),
+            "--current", str(current),
+        ]) == 0
+
+    def test_identical_rerun_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        self._write(baseline, _bench_doc(1.0))
+        assert cli_main([
+            "obs", "regress", "--baseline", str(baseline),
+            "--current", str(baseline), "--fail-on-regression",
+        ]) == 0
+        assert "overall: ok" in capsys.readouterr().out
+
+    def test_json_format_and_override_flags(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        self._write(baseline, _bench_doc(1.0))
+        self._write(current, _bench_doc(1.6))
+        assert cli_main([
+            "obs", "regress", "--baseline", str(baseline),
+            "--current", str(current), "--fail-on-regression",
+            "--format", "json",
+            "--tolerance", "benchmarks/test_x.py::test_bench::wall_s=0.9",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["regression"] is False
