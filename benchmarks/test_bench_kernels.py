@@ -11,10 +11,15 @@ recorded as gauges in ``BENCH_obs.json``:
 * ``bench.kernel.rx_chain_speedup`` — the AP receive chain
   (``chirp_spectra`` + ``background_subtracted``) with stacked-FFT
   kernels vs the per-record loops.
+* ``bench.kernel.music_speedup`` / ``bench.kernel.bartlett_speedup`` —
+  the 2401-point AoA grid scans as one matmul projection vs the
+  per-angle loops (8-antenna array, the §9.2 upgrade path).
 
-Each leg first asserts bitwise identity (``np.array_equal``) between
-the modes — the speedups are only meaningful because the outputs do not
-change at all.
+Each leg first asserts the cross-mode contract: bitwise identity
+(``np.array_equal``) for the burst/rxchain kernels, exact peak index
+plus the documented tolerance for the AoA spectra (see
+``docs/PERFORMANCE.md``) — the speedups are only meaningful because
+the outputs do not change.
 """
 
 from __future__ import annotations
@@ -24,7 +29,9 @@ import time
 import numpy as np
 
 from repro import kernels, obs
+from repro.ap.music import ArrayAoaEstimator
 from repro.channel.scene import Scene2D
+from repro.kernels import aoa
 from repro.kernels import burst as burst_kernel
 from repro.sim.engine import MilBackSimulator
 
@@ -144,3 +151,113 @@ def test_bench_kernel_rx_chain(benchmark):
     print(f"\nAP receive chain ({N_CHIRPS} chirps x {n} samples): "
           f"reference {1e6 * reference_s:.0f} us, batched {1e6 * batched_s:.0f} us, "
           f"speedup {speedup:.2f}x")
+
+
+# --- AoA grid scans ---------------------------------------------------------------
+
+#: The reference leg is a 2401-iteration Python loop (~tens of ms per
+#: call), so the AoA pair uses far fewer calls per block than the µs-
+#: scale kernels above — the interleaved best-of-blocks defence stays.
+AOA_BLOCKS = 5
+AOA_CALLS_PER_BLOCK = 3
+
+#: Array geometry of the benchmark: the paper's §9.2 upgrade at 8
+#: elements over the default 2401-point scan grid.
+AOA_ANTENNAS = 8
+
+
+def _aoa_inputs():
+    """Covariance + noise subspace + steering from a real engine trial."""
+    sim = MilBackSimulator(
+        Scene2D.single_node(3.0, azimuth_deg=12.0, orientation_deg=10.0), seed=6
+    )
+    records = sim._beat_records(toggled_port="both", n_rx_antennas=AOA_ANTENNAS)
+    beat_hz = sim.ap.fmcw.estimate_range(records[0]).beat_frequency_hz
+    estimator = ArrayAoaEstimator(AOA_ANTENNAS, sim.ap.config.rx_baseline_m, 28e9)
+    snapshots = estimator.snapshots(records, beat_hz)
+    covariance = snapshots.T @ snapshots.conj() / snapshots.shape[0]
+    noise = aoa.noise_subspace(covariance, n_sources=1)
+    return covariance, noise, estimator._steering
+
+
+def _aoa_timed_pair(reference_fn, batched_fn) -> tuple[float, float]:
+    reference_fn(), batched_fn()  # warm-up
+    reference_s = batched_s = float("inf")
+    for _ in range(AOA_BLOCKS):
+        for fn, which in ((reference_fn, "ref"), (batched_fn, "bat")):
+            start_s = time.perf_counter()
+            for _ in range(AOA_CALLS_PER_BLOCK):
+                fn()
+            block_s = (time.perf_counter() - start_s) / AOA_CALLS_PER_BLOCK
+            if which == "ref":
+                reference_s = min(reference_s, block_s)
+            else:
+                batched_s = min(batched_s, block_s)
+    return reference_s, batched_s
+
+
+def _in_kernel_mode(mode, fn):
+    def run():
+        kernels.set_kernel_mode(mode)
+        try:
+            return fn()
+        finally:
+            kernels.set_kernel_mode(None)
+
+    return run
+
+
+def test_bench_kernel_music_spectrum(benchmark):
+    covariance, noise, steering = _aoa_inputs()
+    run_reference = _in_kernel_mode(
+        "reference", lambda: aoa.music_spectrum(noise, steering)
+    )
+    run_batched = _in_kernel_mode(
+        "batched", lambda: aoa.music_spectrum(noise, steering)
+    )
+
+    reference, batched = run_reference(), run_batched()
+    assert int(np.argmax(batched)) == int(np.argmax(reference))
+    np.testing.assert_allclose(batched, reference, rtol=1e-11)
+
+    reference_s, batched_s = benchmark.pedantic(
+        lambda: _aoa_timed_pair(run_reference, run_batched),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = reference_s / batched_s
+    obs.gauge("bench.kernel.music_speedup").set(speedup)
+    obs.gauge("bench.kernel.music_reference_s").set(reference_s)
+    obs.gauge("bench.kernel.music_batched_s").set(batched_s)
+    assert speedup >= 5.0
+    print(f"\nMUSIC scan ({steering.shape[0]} angles x {AOA_ANTENNAS} antennas): "
+          f"reference {1e3 * reference_s:.1f} ms, batched {1e6 * batched_s:.0f} us, "
+          f"speedup {speedup:.1f}x")
+
+
+def test_bench_kernel_bartlett_spectrum(benchmark):
+    covariance, noise, steering = _aoa_inputs()
+    run_reference = _in_kernel_mode(
+        "reference", lambda: aoa.bartlett_spectrum(covariance, steering)
+    )
+    run_batched = _in_kernel_mode(
+        "batched", lambda: aoa.bartlett_spectrum(covariance, steering)
+    )
+
+    reference, batched = run_reference(), run_batched()
+    assert int(np.argmax(batched)) == int(np.argmax(reference))
+    np.testing.assert_allclose(batched, reference, rtol=1e-11)
+
+    reference_s, batched_s = benchmark.pedantic(
+        lambda: _aoa_timed_pair(run_reference, run_batched),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = reference_s / batched_s
+    obs.gauge("bench.kernel.bartlett_speedup").set(speedup)
+    obs.gauge("bench.kernel.bartlett_reference_s").set(reference_s)
+    obs.gauge("bench.kernel.bartlett_batched_s").set(batched_s)
+    assert speedup >= 5.0
+    print(f"\nBartlett scan ({steering.shape[0]} angles x {AOA_ANTENNAS} antennas): "
+          f"reference {1e3 * reference_s:.1f} ms, batched {1e6 * batched_s:.0f} us, "
+          f"speedup {speedup:.1f}x")

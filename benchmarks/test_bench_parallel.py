@@ -57,9 +57,22 @@ def test_bench_parallel_sweep_speedup(benchmark):
     # caches, so the serial leg is not charged for first-trial costs
     # (forked workers inherit the warm caches either way).
     _timed_sweep(max_workers=1)
-    serial_s, serial_points = _timed_sweep(max_workers=1)
-    parallel_s, parallel_points = benchmark.pedantic(
-        _timed_sweep, kwargs={"max_workers": 2}, rounds=1, iterations=1
+    _timed_sweep(max_workers=2)
+
+    def measure() -> tuple[float, float, list, list]:
+        # Interleaved best-of-rounds (the repo's standard defence on a
+        # shared single-core box): a scheduler stall landing in one
+        # single-shot leg would otherwise fabricate a collapse.
+        serial_s = parallel_s = float("inf")
+        for _ in range(3):
+            leg_s, serial_points = _timed_sweep(max_workers=1)
+            serial_s = min(serial_s, leg_s)
+            leg_s, parallel_points = _timed_sweep(max_workers=2)
+            parallel_s = min(parallel_s, leg_s)
+        return serial_s, parallel_s, serial_points, parallel_points
+
+    serial_s, parallel_s, serial_points, parallel_points = benchmark.pedantic(
+        measure, rounds=1, iterations=1
     )
     assert [p.values for p in serial_points] == [p.values for p in parallel_points]
     speedup = serial_s / parallel_s

@@ -10,15 +10,15 @@ robust baseline, MUSIC for super-resolution.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.constants import SPEED_OF_LIGHT
 from repro.dsp.signal import Signal
 from repro.errors import LocalizationError
-from repro.kernels import rxchain
+from repro.kernels import aoa, rxchain
 
 __all__ = ["ArrayAoaEstimate", "ArrayAoaEstimator"]
 
@@ -52,6 +52,13 @@ class ArrayAoaEstimator:
         self.baseline_m = baseline_m
         self.wavelength_m = SPEED_OF_LIGHT / frequency_hz
         self.grid_deg = np.linspace(-scan_limit_deg, scan_limit_deg, n_grid)
+        # The grid and geometry are fixed for the estimator's lifetime,
+        # so the whole (n_grid, n_antennas) steering matrix is built
+        # once here and reused by every estimate() call in both kernel
+        # modes (memoized process-wide — see repro.kernels.aoa).
+        self._steering = aoa.steering_matrix(
+            self.grid_deg, n_antennas, baseline_m, self.wavelength_m
+        )
 
     # --- snapshots -------------------------------------------------------------
 
@@ -87,14 +94,9 @@ class ArrayAoaEstimator:
 
     def steering_vector(self, angle_deg: float) -> np.ndarray:
         """ULA steering vector toward ``angle_deg``."""
-        phase = (
-            2.0
-            * math.pi
-            * self.baseline_m
-            * math.sin(math.radians(angle_deg))
-            / self.wavelength_m
+        return aoa.steering_vector(
+            angle_deg, self.n_antennas, self.baseline_m, self.wavelength_m
         )
-        return np.exp(1j * phase * np.arange(self.n_antennas))
 
     # --- estimators -------------------------------------------------------------
 
@@ -109,13 +111,22 @@ class ArrayAoaEstimator:
         # R[i, j] = E[x_i x_j*] with snapshots stacked as rows.
         covariance = snapshots.T @ snapshots.conj() / snapshots.shape[0]
         if method == "bartlett":
-            spectrum = self._bartlett(covariance)
+            spectrum = aoa.bartlett_spectrum(covariance, self._steering)
+
+            def window(rows: np.ndarray) -> np.ndarray:
+                return aoa.bartlett_window_reference(covariance, rows)
+
         elif method == "music":
-            spectrum = self._music(covariance)
+            noise = aoa.noise_subspace(covariance, n_sources=1)
+            spectrum = aoa.music_spectrum(noise, self._steering)
+
+            def window(rows: np.ndarray) -> np.ndarray:
+                return aoa.music_window_reference(noise, rows)
+
         else:
             raise LocalizationError(f"unknown AoA method {method!r}")
         peak = int(np.argmax(spectrum))
-        angle = self._refine(self.grid_deg, spectrum, peak)
+        angle = self._refine_peak(peak, window)
         return ArrayAoaEstimate(
             angle_deg=angle,
             method=method,
@@ -125,32 +136,24 @@ class ArrayAoaEstimator:
 
     # --- internals ----------------------------------------------------------------
 
-    def _bartlett(self, covariance: np.ndarray) -> np.ndarray:
-        out = np.empty(self.grid_deg.size)
-        for i, angle in enumerate(self.grid_deg):
-            a = self.steering_vector(float(angle))
-            out[i] = float(np.real(a.conj() @ covariance @ a)) / self.n_antennas**2
-        return out
+    def _refine_peak(
+        self, k: int, window: Callable[[np.ndarray], np.ndarray]
+    ) -> float:
+        """Parabolic peak interpolation on reference-arithmetic values.
 
-    def _music(self, covariance: np.ndarray, n_sources: int = 1) -> np.ndarray:
-        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
-        # eigh sorts ascending: the noise subspace is everything below
-        # the top n_sources eigenvectors.
-        noise_subspace = eigenvectors[:, : self.n_antennas - n_sources]
-        out = np.empty(self.grid_deg.size)
-        for i, angle in enumerate(self.grid_deg):
-            a = self.steering_vector(float(angle))
-            projection = noise_subspace.conj().T @ a
-            denom = float(np.real(projection.conj() @ projection))
-            out[i] = 1.0 / max(denom, 1e-18)
-        return out
-
-    @staticmethod
-    def _refine(grid: np.ndarray, spectrum: np.ndarray, k: int) -> float:
-        if 0 < k < spectrum.size - 1:
-            a, b, c = spectrum[k - 1], spectrum[k], spectrum[k + 1]
+        The three spectrum points around the peak are recomputed with
+        the reference (loop) arithmetic regardless of the active kernel
+        mode: in reference mode the values are bitwise what the full
+        scan produced, and in batched mode this pins the refined angle
+        to the reference result exactly, so `estimate()` returns a mode-
+        independent angle whenever the peak index agrees (see
+        `docs/PERFORMANCE.md`).
+        """
+        grid_deg = self.grid_deg
+        if 0 < k < grid_deg.size - 1:
+            a, b, c = window(self._steering[k - 1 : k + 2])
             denom = a - 2.0 * b + c
             if abs(denom) > 1e-18:
                 delta = float(np.clip(0.5 * (a - c) / denom, -0.5, 0.5))
-                return float(grid[k] + delta * (grid[1] - grid[0]))
-        return float(grid[k])
+                return float(grid_deg[k] + delta * (grid_deg[1] - grid_deg[0]))
+        return float(grid_deg[k])

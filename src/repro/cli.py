@@ -36,7 +36,7 @@ import sys
 from pathlib import Path
 from typing import Callable
 
-from repro import faults, kernels, obs
+from repro import faults, kernels, obs, parallel
 from repro.errors import FaultInjectionError
 from repro.faults import campaign as faults_campaign
 from repro.obs import regress as obs_regress
@@ -143,8 +143,17 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
         choices=kernels.KERNEL_MODES,
         default=None,
         help="array-kernel implementation: 'batched' (default) or the "
-        "retained 'reference' loops; both are bitwise identical "
+        "retained 'reference' loops; experiment outputs are identical "
         "(default: $REPRO_KERNELS or 'batched')",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=parallel.TRANSPORT_MODES,
+        default=None,
+        help="worker payload transport: 'shm' (default) moves large "
+        "arrays through shared memory, 'pickle' ships everything over "
+        "the pipe; results are bitwise identical "
+        f"(default: ${parallel.TRANSPORT_ENV} or 'shm')",
     )
     parser.add_argument(
         "--trace",
@@ -442,6 +451,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.kernels is not None:
         kernels.set_kernel_mode(args.kernels)
+    if args.transport is not None:
+        parallel.set_transport_mode(args.transport)
     # One invocation = one observation window: artifacts must describe
     # exactly this run, so clear anything import-time code recorded.
     obs.reset()

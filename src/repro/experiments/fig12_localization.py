@@ -77,15 +77,27 @@ def run_fig12_angle(
     orientation_deg: float = 10.0,
     seed: int = 121,
     max_workers: int | None = None,
+    array_elements: int | None = None,
 ) -> np.ndarray:
-    """Panel (b): pooled angle errors across azimuth placements."""
+    """Panel (b): pooled angle errors across azimuth placements.
+
+    ``array_elements`` switches the AoA path from the paper's two-horn
+    phase comparison to the §9.2 N-element array running MUSIC
+    (:meth:`~repro.sim.engine.MilBackSimulator.simulate_localization_array`)
+    — the variant the end-to-end sweep benchmark exercises. The default
+    ``None`` keeps the published two-horn figure bit-for-bit.
+    """
 
     def trial(azimuth: float, rng: np.random.Generator) -> float:
         scene = Scene2D.single_node(
             distance_m, azimuth_deg=azimuth, orientation_deg=orientation_deg
         )
-        link = MilBackLink(MilBackSimulator(scene, seed=rng))
-        return link.localize().angle_error_deg
+        sim = MilBackSimulator(scene, seed=rng)
+        if array_elements is not None:
+            return sim.simulate_localization_array(
+                array_elements, "music"
+            ).angle_error_deg
+        return MilBackLink(sim).localize().angle_error_deg
 
     points = run_error_sweep(azimuths_deg, trial, n_trials, seed, max_workers=max_workers)
     return np.concatenate([np.asarray(p.values) for p in points])

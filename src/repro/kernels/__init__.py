@@ -18,12 +18,18 @@ Every kernel ships two implementations:
   output element goes through the *same sequence of floating-point
   operations on the same operand values* as the reference loop.
 
-The two modes are **bitwise identical** (``np.array_equal``, not
-``allclose``) — ``tests/test_kernels.py`` asserts exact equality across
-shapes, and the CI perf-smoke job diffs full experiment metric payloads
-between modes. Batched is therefore the default; ``reference`` exists as
-an escape hatch and as the baseline the ``bench.kernel.*`` speedup
-gauges are measured against.
+For the burst/rxchain family the two modes are **bitwise identical**
+(``np.array_equal``, not ``allclose``) — ``tests/test_kernels.py``
+asserts exact equality across shapes, and the CI perf-smoke job diffs
+full experiment stdout between modes. The AoA spectrum family
+(:mod:`repro.kernels.aoa`) is the one documented exception: its batched
+spectra route the same math through BLAS matmuls whose reduction order
+differs from the reference loops, so the raw spectra agree only to a
+tested few-ulp bound — while the steering phasors, the MUSIC
+denominator clamp, the spectrum peak index, and the refined angle stay
+exactly mode-independent (see ``docs/PERFORMANCE.md``). Batched is the
+default everywhere; ``reference`` exists as an escape hatch and as the
+baseline the ``bench.kernel.*`` speedup gauges are measured against.
 
 Mode selection, in priority order:
 

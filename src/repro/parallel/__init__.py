@@ -30,10 +30,20 @@ from repro.parallel.executor import (
     parallel_map,
     resolve_max_workers,
 )
+from repro.parallel.shm import (
+    TRANSPORT_ENV,
+    TRANSPORT_MODES,
+    set_transport_mode,
+    transport_mode,
+)
 
 __all__ = [
     "DEFAULT_WORKERS_ENV",
+    "TRANSPORT_ENV",
+    "TRANSPORT_MODES",
     "ParallelResult",
     "parallel_map",
     "resolve_max_workers",
+    "set_transport_mode",
+    "transport_mode",
 ]

@@ -25,12 +25,22 @@ exactly as in a serial loop. Pool *infrastructure* failures (fork
 unavailable, pool refuses to start, workers die) instead trigger a
 serial in-process fallback — deterministic because the parent's RNG
 copies were never advanced — and bump ``parallel.fallbacks``.
+
+Transport: large ndarray payloads and results ride shared-memory
+arenas instead of the pickle pipe when :mod:`repro.parallel.shm` is in
+its default ``shm`` mode — the parent packs each chunk's arrays into
+one arena, the worker runs the trial function on views, and the parent
+reassembles owned copies and unlinks. RNG streams, scalars, and the
+obs delta stay pickled either way, so values are bit-identical across
+transports; ``parallel.bytes_shipped{path=pickle|shm}`` counts what
+moved over each path.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -41,6 +51,7 @@ from typing import Any, Callable, Sequence
 from repro import obs
 from repro.errors import ConfigurationError
 from repro.obs import stream
+from repro.parallel import shm
 
 __all__ = [
     "DEFAULT_WORKERS_ENV",
@@ -111,23 +122,37 @@ def _chunk_indices(n_items: int, workers: int, chunk_size: int | None) -> list[r
     return [range(lo, min(lo + chunk_size, n_items)) for lo in range(0, n_items, chunk_size)]
 
 
-def _run_chunk(payloads: list[Any]) -> tuple[list[Any], dict, list[dict], list[dict], float]:
+def _run_chunk(payloads: Any, transport: str) -> tuple[Any, dict, list[dict], list[dict], float]:
     """Worker side: run one chunk and package results + obs delta."""
     global _IN_WORKER
     _IN_WORKER = True
     fn = _WORKER_FN
     if fn is None:  # pragma: no cover - indicates a non-fork pool misuse
         raise ConfigurationError("worker has no inherited trial function")
+    if transport == "shm":
+        # Mappings left over from earlier chunks on this worker can be
+        # closed now that their trial views are dead; the parent already
+        # unlinked those segments when it consumed the chunk results.
+        shm.purge_attached()
+        payloads = shm.unpack_views(payloads)
     # Fresh observation window: drop everything inherited from the
     # parent at fork time so the returned delta covers exactly this chunk.
     obs.reset()
     obs.get_tracer().detach_open_spans()
     t0 = time.perf_counter()
-    values = [fn(payload) for payload in payloads]
+    result: Any = [fn(payload) for payload in payloads]
+    if transport == "shm":
+        result, result_arena = shm.pack(result)
+        obs.counter("parallel.bytes_shipped", path="shm").inc(result.nbytes)
+        if result_arena is not None:
+            # Only close the mapping — the segment must outlive this
+            # worker so the parent can copy out of it; the parent
+            # unlinks it in shm.unpack_copies().
+            result_arena.close()
     state = obs.get_registry().dump_state()
     spans = [s.to_dict() for s in obs.get_tracer().finished_spans()]
     events = [e.to_dict() for e in obs.get_tracer().events()]
-    return values, state, spans, events, t0
+    return result, state, spans, events, t0
 
 
 def _serial_loop(fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
@@ -189,9 +214,26 @@ def parallel_map(
     obs.counter("parallel.tasks").inc(len(items))
     obs.counter("parallel.chunks").inc(len(chunks))
 
+    transport = shm.transport_mode()
+    # Item arenas still owned by the parent, keyed by chunk index. Each
+    # is destroyed as its chunk result arrives; the finally sweep below
+    # reclaims the rest on any exit (trial exception, broken pool,
+    # serial fallback), so /dev/shm never leaks a segment.
+    item_arenas: dict[int, Any] = {}
+
+    def _sweep_arenas() -> None:
+        while item_arenas:
+            _, leftover = item_arenas.popitem()
+            shm.destroy(leftover)
+
     _WORKER_FN = fn
     try:
         with obs.span("parallel.map", tasks=len(items), workers=workers):
+            if transport == "shm":
+                # Spawn the resource tracker now so every forked worker
+                # inherits it — one tracker for all arenas, parent- or
+                # worker-created, means one unlink settles each segment.
+                shm.ensure_tracker()
             try:
                 pool = ProcessPoolExecutor(
                     max_workers=workers,
@@ -202,12 +244,28 @@ def parallel_map(
             try:
                 futures = []
                 dispatch_s = []
-                for chunk in chunks:
+                for chunk_index, chunk in enumerate(chunks):
+                    payload: Any = [items[i] for i in chunk]
+                    if transport == "shm":
+                        payload, arena = shm.pack(payload)
+                        if arena is not None:
+                            item_arenas[chunk_index] = arena
+                        obs.counter("parallel.bytes_shipped", path="shm").inc(
+                            payload.nbytes
+                        )
+                    # What actually crosses the pipe for this chunk: the
+                    # raw item list in pickle mode, the slotted remainder
+                    # (RNG streams, scalars) in shm mode.
+                    obs.counter("parallel.bytes_shipped", path="pickle").inc(
+                        len(pickle.dumps(payload))
+                    )
                     dispatch_s.append(time.perf_counter())
-                    futures.append(pool.submit(_run_chunk, [items[i] for i in chunk]))
+                    futures.append(pool.submit(_run_chunk, payload, transport))
                 emitter = stream.get_emitter()
                 values: list[Any] = []
-                for future, dispatched in zip(futures, dispatch_s):
+                for chunk_index, (future, dispatched) in enumerate(
+                    zip(futures, dispatch_s)
+                ):
                     while True:
                         try:
                             # Bounded waits keep the heartbeat channel
@@ -225,6 +283,11 @@ def parallel_map(
                                 if chunk_future.done()
                             )
                             stream.tick(done=done_items, total=len(items))
+                    if transport == "shm":
+                        chunk_values = shm.unpack_copies(chunk_values)
+                        arena = item_arenas.pop(chunk_index, None)
+                        if arena is not None:
+                            shm.destroy(arena)
                     values.extend(chunk_values)
                     offset = dispatched - t0
                     obs.get_registry().merge_state(state)
@@ -243,8 +306,10 @@ def parallel_map(
                 # The parent's RNG copies were never advanced, so the serial
                 # re-run is bit-identical to what the pool would have produced.
                 pool.shutdown(wait=False, cancel_futures=True)
+                _sweep_arenas()
                 return _serial_fallback(fn, items, workers, reason=type(exc).__name__)
             pool.shutdown()
     finally:
         _WORKER_FN = None
+        _sweep_arenas()
     return ParallelResult(values=values, workers=workers, n_chunks=len(chunks))

@@ -15,22 +15,29 @@ The executor makes three promises (see ``docs/PERFORMANCE.md``):
 from __future__ import annotations
 
 import json
+import os
 
 import numpy as np
 import pytest
 
-from repro import obs
+from repro import kernels, obs
 from repro.analysis.sweeps import SweepPoint, run_error_sweep, run_sweep
+from repro.channel.scene import Scene2D
 from repro.errors import ConfigurationError
 from repro.experiments import fig12_localization
 from repro.experiments.coverage_map import run_coverage_map
+from repro.faults.campaign import CampaignConfig, run_campaign
 from repro.parallel import (
     DEFAULT_WORKERS_ENV,
     ParallelResult,
     parallel_map,
     resolve_max_workers,
+    set_transport_mode,
+    transport_mode,
 )
+from repro.parallel import shm
 from repro.parallel.executor import _chunk_indices
+from repro.sim.engine import MilBackSimulator
 from repro.utils.rng import spawn_rngs
 
 
@@ -213,6 +220,169 @@ class TestSweepDeterminism:
         serial = run_coverage_map(**kwargs, max_workers=1)
         parallel = run_coverage_map(**kwargs, max_workers=4)
         np.testing.assert_array_equal(serial.delivery, parallel.delivery)
+
+
+def _shm_segments() -> set[str]:
+    """Names of the POSIX shared-memory segments currently alive."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-tmpfs platforms
+        return set()
+
+
+def _array_trial(item):
+    """Trial with a large ndarray in *and* out, touching the AoA kernels."""
+    weights, azimuth, rng = item
+    sim = MilBackSimulator(
+        Scene2D.single_node(3.0, azimuth_deg=azimuth, orientation_deg=10.0),
+        seed=rng,
+    )
+    error = sim.simulate_localization_array(4, "music").angle_error_deg
+    return error, float(weights.sum()), weights * error
+
+
+def _array_items(n):
+    rngs = spawn_rngs(9, n)
+    return [
+        (np.random.default_rng(i).normal(size=1024), float(3 * i - n), rngs[i])
+        for i in range(n)
+    ]
+
+
+class TestShmTransport:
+    @pytest.fixture(autouse=True)
+    def _clean_transport(self, monkeypatch):
+        monkeypatch.delenv(shm.TRANSPORT_ENV, raising=False)
+        set_transport_mode(None)
+        kernels.set_kernel_mode(None)
+        yield
+        set_transport_mode(None)
+        kernels.set_kernel_mode(None)
+
+    def test_default_is_shm(self):
+        assert transport_mode() == "shm"
+
+    def test_env_var_selects_pickle(self, monkeypatch):
+        monkeypatch.setenv(shm.TRANSPORT_ENV, "pickle")
+        assert transport_mode() == "pickle"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(shm.TRANSPORT_ENV, "pickle")
+        set_transport_mode("shm")
+        assert transport_mode() == "shm"
+        set_transport_mode(None)
+        assert transport_mode() == "pickle"
+
+    def test_invalid_mode_rejected(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            set_transport_mode("rdma")
+        monkeypatch.setenv(shm.TRANSPORT_ENV, "carrier-pigeon")
+        with pytest.raises(ConfigurationError):
+            transport_mode()
+
+    def test_pack_roundtrip_preserves_structure_and_dtypes(self):
+        rng = np.random.default_rng(3)
+        payload = [
+            {
+                "f": rng.normal(size=2048),
+                "c": rng.normal(size=1024) + 1j * rng.normal(size=1024),
+                "i": rng.integers(0, 99, size=1024),
+                "scalar": 2.5,
+            },
+            ("tag", rng.normal(size=700)),
+        ]
+        before = _shm_segments()
+        packed, arena = shm.pack(payload)
+        assert arena is not None
+        out = shm.unpack_copies(packed)
+        for key in ("f", "c", "i"):
+            assert out[0][key].dtype == payload[0][key].dtype
+            assert np.array_equal(out[0][key], payload[0][key])
+        assert out[0]["scalar"] == 2.5
+        assert out[1][0] == "tag"
+        # 700 float64s = 5600 bytes >= the 4096 threshold: lifted too.
+        assert np.array_equal(out[1][1], payload[1][1])
+        assert _shm_segments() == before
+
+    def test_small_payloads_skip_the_arena(self):
+        packed, arena = shm.pack([(1.0, np.arange(4)), "x"])
+        assert arena is None
+        assert packed.nbytes == 0
+        assert shm.unpack_copies(packed) == packed.payload
+
+    @pytest.mark.parametrize("mode", ["batched", "reference"])
+    def test_bitwise_across_worker_counts_and_transports(self, mode):
+        kernels.set_kernel_mode(mode)
+        serial = [_array_trial(item) for item in _array_items(8)]
+        results = {}
+        for transport in ("shm", "pickle"):
+            set_transport_mode(transport)
+            for workers in (2, 4):
+                out = parallel_map(
+                    _array_trial, _array_items(8), max_workers=workers
+                ).values
+                results[(transport, workers)] = out
+        for key, out in results.items():
+            for got, want in zip(out, serial):
+                assert got[0] == want[0] and got[1] == want[1], key
+                assert np.array_equal(got[2], want[2]), key
+
+    def test_bytes_shipped_counters(self):
+        set_transport_mode("shm")
+        parallel_map(_array_trial, _array_items(6), max_workers=2)
+        shipped_shm = obs.counter("parallel.bytes_shipped", path="shm").value
+        shipped_pickle = obs.counter("parallel.bytes_shipped", path="pickle").value
+        # Item arrays (6 x 8 KiB) travel both directions (weights in,
+        # weights*error out) through arenas; the pipe carries only RNG
+        # streams, scalars, and slot markers.
+        assert shipped_shm >= 6 * 2 * 8192
+        assert 0 < shipped_pickle < shipped_shm
+
+        obs.reset()
+        set_transport_mode("pickle")
+        parallel_map(_array_trial, _array_items(6), max_workers=2)
+        assert obs.counter("parallel.bytes_shipped", path="shm").value == 0
+        assert obs.counter("parallel.bytes_shipped", path="pickle").value > 6 * 8192
+
+    def test_no_segment_leak_on_success(self):
+        before = _shm_segments()
+        parallel_map(_array_trial, _array_items(8), max_workers=2)
+        assert _shm_segments() == before
+
+    def test_no_segment_leak_when_trial_raises(self):
+        def boom(item):
+            raise ValueError("mid-chunk")  # milback: disable=ML004 — test payload
+
+        before = _shm_segments()
+        items = [(np.random.default_rng(i).normal(size=1024),) for i in range(8)]
+        with pytest.raises(ValueError, match="mid-chunk"):
+            parallel_map(boom, items, max_workers=2)
+        assert _shm_segments() == before
+
+    def test_no_segment_leak_on_fallback(self, monkeypatch):
+        from repro.parallel import executor
+
+        monkeypatch.setattr(
+            executor.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        before = _shm_segments()
+        serial = [_array_trial(item) for item in _array_items(4)]
+        result = parallel_map(_array_trial, _array_items(4), max_workers=2)
+        assert result.fallback_reason == "no-fork"
+        for got, want in zip(result.values, serial):
+            assert got[0] == want[0] and np.array_equal(got[2], want[2])
+        assert _shm_segments() == before
+
+    def test_faults_campaign_bitwise_at_any_worker_count(self):
+        set_transport_mode("shm")
+        config = CampaignConfig(rates=(0.0, 0.3), n_trials=2)
+        before = _shm_segments()
+        points = {
+            workers: run_campaign(config, seed=0, max_workers=workers).points
+            for workers in (1, 2, 4)
+        }
+        assert points[1] == points[2] == points[4]
+        assert _shm_segments() == before
 
 
 class TestSweepPointP90:
