@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Dataset consumer: score baselines against a generated corpus.
+
+Generates a small labeled corpus with the :mod:`repro.datasets` factory
+(the same code path as ``repro dataset generate``), then consumes it the
+way a learning pipeline would:
+
+* the corpus' own **classical estimates** (FMCW range + two-horn AoA,
+  stored per row) are scored against the ground-truth labels, split by
+  the LOS/blocked label — showing why the blocked rows are the ones a
+  learned model must earn its keep on; and
+* a **signal-strength baseline** — the textbook log-distance fit from
+  received backscatter power to range, trained on even trials and
+  evaluated on odd trials — is scored from the feature columns alone.
+
+Everything here reads only the public corpus schema (see
+``docs/DATASETS.md``): load, mask on labels, compare columns.
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.datasets import DatasetConfig, generate_dataset, load_dataset
+
+CONFIG = DatasetConfig(
+    scenes=("clear", "blocked"),
+    distances_m=(1.5, 2.5, 4.0, 6.0),
+    # Orientation is the classic RSSI confound: the FSA's backscatter
+    # gain falls off broadside, so received power alone cannot separate
+    # "further away" from "turned away".
+    orientations_deg=(0.0, 12.0, 25.0),
+    fault_rates=(0.0,),
+    n_trials=2,
+    seed=2024,
+    n_spectrum_bins=48,
+)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as workdir:
+        manifest = generate_dataset(CONFIG, workdir, rows_per_shard=16)
+        data = load_dataset(workdir)
+    print(
+        f"Dataset consumer: {manifest['rows_written']} rows in "
+        f"{len(manifest['shards'])} shards "
+        f"({len(manifest['fields'])} columns, schema v{manifest['schema_version']})"
+    )
+
+    # --- the corpus' stored classical estimates, split by LOS label ---
+    los = data["los"].astype(bool)
+    valid = data["est_valid"].astype(bool)
+    for label, mask in (("LOS", los), ("blocked", ~los)):
+        usable = mask & valid
+        range_err = np.abs(
+            data["est_distance_m"][usable] - data["distance_m"][usable]
+        )
+        angle_err = np.abs(
+            data["est_azimuth_deg"][usable] - data["azimuth_deg"][usable]
+        )
+        print(
+            f"  classical {label:8s} fixes {int(usable.sum())}/{int(mask.sum())}: "
+            f"median range error {np.median(range_err) * 100:.1f} cm, "
+            f"median AoA error {np.median(angle_err):.2f} deg"
+        )
+
+    # --- signal-strength range baseline from the feature columns ---
+    # Log-distance path loss: received dBm falls linearly in log10(d),
+    # so fit power = a*log10(d) + b on the training rows and invert.
+    power = data["port_power_dbm"].mean(axis=1)
+    trial = data["row_index"] % CONFIG.n_trials
+    train = los & (trial % 2 == 0)
+    test = los & (trial % 2 == 1)
+    slope, intercept = np.polyfit(np.log10(data["distance_m"][train]), power[train], 1)
+    predicted = 10.0 ** ((power[test] - intercept) / slope)
+    ss_err = np.abs(predicted - data["distance_m"][test])
+    print(
+        f"  signal-strength range baseline ({int(train.sum())} train / "
+        f"{int(test.sum())} test LOS rows): "
+        f"median error {np.median(ss_err) * 100:.1f} cm, "
+        f"p90 {np.percentile(ss_err, 90) * 100:.1f} cm"
+    )
+    print(
+        "\nthe power-law fit is confounded by tag orientation (power alone "
+        "cannot separate distance\nfrom broadside falloff), while classical "
+        "FMCW ranging reads the beat spectrum directly;\nblocked rows are "
+        "labeled (los=0) so a learned model can be trained to flag them."
+    )
+
+
+if __name__ == "__main__":
+    main()

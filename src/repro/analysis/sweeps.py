@@ -11,6 +11,7 @@ parallel sweeps are bitwise identical.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
@@ -71,6 +72,28 @@ class SweepPoint:
         )
 
 
+def _sweep_task(
+    trial: Callable[[float, np.random.Generator], float],
+    task: tuple[float, np.random.Generator],
+) -> float:
+    """Module-level task wrapper so sweeps stay picklable.
+
+    ``functools.partial(_sweep_task, trial)`` pickles whenever ``trial``
+    does, which lets a picklable trial ride an installed
+    :class:`~repro.parallel.PersistentPool`; closures still work via
+    the cold fork path's copy-on-write inheritance.
+    """
+    return float(trial(task[0], task[1]))
+
+
+def _abs_trial(
+    trial: Callable[[float, np.random.Generator], float],
+    parameter: float,
+    rng: np.random.Generator,
+) -> float:
+    return abs(float(trial(parameter, rng)))
+
+
 def run_sweep(
     parameters: Sequence[float],
     trial: Callable[[float, np.random.Generator], float],
@@ -98,7 +121,7 @@ def run_sweep(
             for j in range(n_trials)
         ]
         result = parallel_map(
-            lambda task: float(trial(task[0], task[1])), tasks, max_workers=workers
+            functools.partial(_sweep_task, trial), tasks, max_workers=workers
         )
         points = []
         for i, parameter in enumerate(parameters):
@@ -144,8 +167,5 @@ def run_error_sweep(
     the finished points — so each trial is observed exactly once and the
     stored values are errors from the start.
     """
-
-    def error_trial(parameter: float, rng: np.random.Generator) -> float:
-        return abs(float(trial(parameter, rng)))
-
+    error_trial = functools.partial(_abs_trial, trial)
     return run_sweep(parameters, error_trial, n_trials, seed, max_workers=max_workers)

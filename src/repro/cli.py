@@ -21,6 +21,11 @@ with degradation curves and the ARQ invariant check), and ``run
 --faults SPEC`` runs any experiment under an active fault plan — see
 ``docs/ROBUSTNESS.md``.
 
+``python -m repro dataset generate`` streams a labeled ML corpus to
+sharded NPZ + manifest (byte-identical at any ``--workers``), and
+``dataset verify`` re-checks an existing corpus's checksums and schema
+— see ``docs/DATASETS.md``.
+
 Runtime telemetry: ``--profile`` arms the sampling profiler and writes a
 self-contained flamegraph HTML; ``--heartbeat SECONDS`` streams progress
 snapshots to stderr during long sweeps; ``repro obs report`` aggregates
@@ -36,8 +41,8 @@ import sys
 from pathlib import Path
 from typing import Callable
 
-from repro import faults, kernels, obs, parallel
-from repro.errors import FaultInjectionError
+from repro import datasets, faults, kernels, obs, parallel
+from repro.errors import DatasetError, FaultInjectionError
 from repro.faults import campaign as faults_campaign
 from repro.obs import regress as obs_regress
 from repro.obs import report as obs_report
@@ -284,6 +289,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) when the ARQ resilience invariant is violated",
     )
     _add_execution_args(fl)
+    ds = sub.add_parser(
+        "dataset", help="generate or verify a labeled ML corpus (docs/DATASETS.md)"
+    )
+    ds_sub = ds.add_subparsers(dest="dataset_command", required=True)
+    gen = ds_sub.add_parser(
+        "generate", help="sweep the scenario grid into sharded NPZ + manifest"
+    )
+    gen.add_argument(
+        "--out", metavar="DIR", required=True, help="corpus output directory"
+    )
+    gen.add_argument(
+        "--scenes",
+        default="clear,furnished,blocked",
+        help="comma-separated scene kinds "
+        f"(known: {', '.join(datasets.SCENE_KINDS)})",
+    )
+    gen.add_argument(
+        "--distances", default="2.0,4.0,6.0", help="comma-separated distances [m]"
+    )
+    gen.add_argument(
+        "--azimuths", default="0.0", help="comma-separated node azimuths [deg]"
+    )
+    gen.add_argument(
+        "--orientations",
+        default="0.0",
+        help="comma-separated node orientations [deg]",
+    )
+    gen.add_argument(
+        "--fault-rates", default="0.0", help="comma-separated fault rates in [0, 1]"
+    )
+    gen.add_argument(
+        "--fault-kinds",
+        default="chirp_drop",
+        help="comma-separated fault kinds armed at non-zero rates "
+        f"(known: {', '.join(sorted(faults.FAULT_KINDS))})",
+    )
+    gen.add_argument(
+        "--velocities", default="0.0", help="comma-separated radial velocities [m/s]"
+    )
+    gen.add_argument(
+        "--trials", type=int, default=1, help="trials per grid cell (default 1)"
+    )
+    gen.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="master corpus seed; rows are pure functions of (seed, index)",
+    )
+    gen.add_argument(
+        "--bins",
+        type=int,
+        default=96,
+        help="beat-spectrum feature width per row (default 96)",
+    )
+    gen.add_argument(
+        "--rows-per-shard",
+        type=int,
+        default=4096,
+        help="rows per NPZ shard (default 4096)",
+    )
+    gen.add_argument(
+        "--block-rows",
+        type=int,
+        default=64,
+        help="rows per worker block / memory granule (default 64)",
+    )
+    gen.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted corpus from its manifest "
+        "(byte-identical to an uninterrupted run)",
+    )
+    _add_execution_args(gen)
+    verify = ds_sub.add_parser(
+        "verify", help="re-check an existing corpus's checksums and schema"
+    )
+    verify.add_argument(
+        "--out", metavar="DIR", required=True, help="corpus directory to verify"
+    )
     ob = sub.add_parser("obs", help="inspect and gate observability artifacts")
     obs_sub = ob.add_subparsers(dest="obs_command", required=True)
     report = obs_sub.add_parser(
@@ -393,6 +477,59 @@ def _run_faults_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_floats(raw: str) -> tuple[float, ...]:
+    return tuple(float(v) for v in raw.split(",") if v.strip())
+
+
+def _split_names(raw: str) -> tuple[str, ...]:
+    return tuple(v.strip() for v in raw.split(",") if v.strip())
+
+
+def _run_dataset_generate(args: argparse.Namespace) -> int:
+    """Execute ``repro dataset generate`` inside the obs window."""
+    config = datasets.DatasetConfig(
+        scenes=_split_names(args.scenes),
+        distances_m=_split_floats(args.distances),
+        azimuths_deg=_split_floats(args.azimuths),
+        orientations_deg=_split_floats(args.orientations),
+        fault_rates=_split_floats(args.fault_rates),
+        fault_kinds=_split_names(args.fault_kinds),
+        velocities_mps=_split_floats(args.velocities),
+        n_trials=args.trials,
+        seed=args.seed,
+        n_spectrum_bins=args.bins,
+    )
+    manifest = datasets.generate_dataset(
+        config,
+        args.out,
+        max_workers=args.workers,
+        rows_per_shard=args.rows_per_shard,
+        block_rows=args.block_rows,
+        resume=args.resume,
+    )
+    status = "complete" if manifest["complete"] else "partial"
+    print(  # milback: disable=ML007 — CLI output
+        f"corpus {status}: {manifest['rows_written']}/{manifest['n_rows']} rows "
+        f"in {len(manifest['shards'])} shards at {args.out}"
+    )
+    return 0
+
+
+def _run_dataset_verify(args: argparse.Namespace) -> int:
+    """Execute ``repro dataset verify``."""
+    try:
+        manifest = datasets.validate_corpus(args.out)
+    except DatasetError as exc:
+        print(f"corpus INVALID: {exc}", file=sys.stderr)  # milback: disable=ML007 — CLI output
+        return 1
+    status = "complete" if manifest["complete"] else "partial"
+    print(  # milback: disable=ML007 — CLI output
+        f"corpus OK ({status}): {manifest['rows_written']}/{manifest['n_rows']} "
+        f"rows in {len(manifest['shards'])} shards, schema v{manifest['schema_version']}"
+    )
+    return 0
+
+
 def _run_obs_report(args: argparse.Namespace) -> int:
     """Execute ``repro obs report``."""
     spans, problems = obs_report.load_trace_spans(args.trace)
@@ -442,6 +579,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.obs_command == "report":
             return _run_obs_report(args)
         return _run_obs_regress(args)
+    if args.command == "dataset" and args.dataset_command == "verify":
+        obs.reset()
+        return _run_dataset_verify(args)
     if args.command == "run" and args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(  # milback: disable=ML007 — CLI output
             f"unknown experiment {args.experiment!r}; "
@@ -465,6 +605,10 @@ def main(argv: list[str] | None = None) -> int:
             with obs.span("cli.faults", kinds=args.kinds, rates=args.rates):
                 obs.counter("cli.runs").inc()
                 status = _run_faults_campaign(args)
+        elif args.command == "dataset":
+            with obs.span("cli.dataset", out=str(args.out)):
+                obs.counter("cli.runs").inc()
+                status = _run_dataset_generate(args)
         elif args.faults is not None:
             specs = faults.parse_fault_specs(args.faults)
             plan = faults.FaultPlan(specs, rng=args.fault_seed)

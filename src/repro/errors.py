@@ -24,6 +24,7 @@ __all__ = [
     "CalibrationError",  # milback: disable=ML014 — public exception taxonomy
     "StaticAnalysisError",
     "FaultInjectionError",
+    "DatasetError",
 ]
 
 
@@ -79,3 +80,9 @@ class FaultInjectionError(MilBackError):
     """The :mod:`repro.faults` subsystem was misconfigured (unknown fault
     kind, out-of-range rate/intensity) or a resilience-campaign
     invariant was violated."""
+
+
+class DatasetError(MilBackError):
+    """A :mod:`repro.datasets` corpus is inconsistent on disk (manifest/
+    shard mismatch, checksum failure, resume against a different
+    configuration) or was asked for an impossible generation plan."""

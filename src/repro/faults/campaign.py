@@ -17,6 +17,7 @@ a bounded mean attempt count (see ``docs/ROBUSTNESS.md``).
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -246,6 +247,20 @@ def _run_trial(
     )
 
 
+def _campaign_task(
+    config: CampaignConfig,
+    task: tuple[tuple[FaultSpec, ...], np.random.Generator, np.random.Generator],
+) -> tuple[float, ...]:
+    """Module-level task wrapper so campaigns stay picklable.
+
+    ``functools.partial(_campaign_task, config)`` crosses a pickle
+    boundary (the config and specs are frozen dataclasses of plain
+    data), which lets campaigns ride an installed
+    :class:`~repro.parallel.PersistentPool` instead of forking cold.
+    """
+    return _run_trial(config, *task)
+
+
 def _nanmean(values: Sequence[float]) -> float:
     """Mean ignoring NaNs; NaN when every value is NaN."""
     finite = [v for v in values if not math.isnan(v)]
@@ -278,7 +293,7 @@ def run_campaign(
         trials=config.n_trials,
     ):
         result = parallel_map(
-            lambda task: _run_trial(config, *task), tasks, max_workers=workers
+            functools.partial(_campaign_task, config), tasks, max_workers=workers
         )
         obs.counter("faults.campaign.points").inc(len(config.rates))
         obs.counter("faults.campaign.trials").inc(len(tasks))

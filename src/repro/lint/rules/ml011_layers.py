@@ -46,7 +46,17 @@ LAYERS: tuple[frozenset[str], ...] = (
     frozenset({"hardware", "antennas"}),
     frozenset({"channel", "sim", "kernels"}),
     frozenset({"node", "ap", "protocol"}),
-    frozenset({"experiments", "analysis", "baselines", "tracking", "faults", "serialization"}),
+    frozenset(
+        {
+            "experiments",
+            "analysis",
+            "baselines",
+            "tracking",
+            "faults",
+            "serialization",
+            "datasets",
+        }
+    ),
 )
 
 #: Cross-cutting infrastructure outside the layer order (still subject

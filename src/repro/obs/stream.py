@@ -71,6 +71,32 @@ def resolve_interval(interval_s: float | None) -> float:
     return float(interval_s)
 
 
+def _health_from_deltas(deltas: dict[str, float]) -> dict[str, str]:
+    """Derived warm-path health for the one-liner, from counter deltas.
+
+    Two signals that matter on long dataset/sweep runs: the
+    scene-invariant cache hit ratio since the last beat (a cold worker
+    shows ~0%, a warm one climbs toward 100%), and how many bytes the
+    parallel transport shipped (shm vs pickle combined). Both are pure
+    functions of counters the run already maintains — nothing new is
+    measured, so heartbeats stay observation-only.
+    """
+    health: dict[str, str] = {}
+    hits = sum(v for k, v in deltas.items() if k.startswith("cache.hits"))
+    misses = sum(v for k, v in deltas.items() if k.startswith("cache.misses"))
+    if hits + misses > 0:
+        health["cache"] = f"{100.0 * hits / (hits + misses):.0f}%"
+    shipped = sum(
+        v for k, v in deltas.items() if k.startswith("parallel.bytes_shipped")
+    )
+    if shipped > 0:
+        if shipped >= 1 << 20:
+            health["shipped"] = f"{shipped / (1 << 20):.1f}MiB"
+        else:
+            health["shipped"] = f"{shipped / 1024.0:.1f}KiB"
+    return health
+
+
 @dataclass(frozen=True)
 class Heartbeat:
     """One progress snapshot."""
@@ -83,6 +109,7 @@ class Heartbeat:
     rate_per_s: float
     eta_s: float | None
     counters: dict[str, float] = field(default_factory=dict)
+    health: dict[str, str] = field(default_factory=dict)
 
     @property
     def fraction(self) -> float:
@@ -99,11 +126,15 @@ class Heartbeat:
             "rate_per_s": self.rate_per_s,
             "eta_s": self.eta_s,
             "counters": dict(self.counters),
+            "health": dict(self.health),
         }
 
     def render(self) -> str:
         """The stderr one-liner."""
         eta = f" eta={self.eta_s:.1f}s" if self.eta_s is not None else ""
+        vitals = " ".join(
+            f"{name}={value}" for name, value in sorted(self.health.items())
+        )
         moved = " ".join(
             f"{name}+{delta:g}" for name, delta in sorted(self.counters.items())
         )
@@ -111,6 +142,8 @@ class Heartbeat:
             f"repro: {self.label} {self.done}/{self.total} "
             f"({100.0 * self.fraction:.0f}%) rate={self.rate_per_s:.2f}/s{eta}"
         )
+        if vitals:
+            line = f"{line} {vitals}"
         return f"{line} [{moved}]" if moved else line
 
 
@@ -190,6 +223,7 @@ class HeartbeatEmitter:
             rate_per_s=rate,
             eta_s=eta,
             counters=deltas,
+            health=_health_from_deltas(deltas),
         )
         self._seq += 1
         self._ring.append(beat)

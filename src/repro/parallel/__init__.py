@@ -30,6 +30,7 @@ from repro.parallel.executor import (
     parallel_map,
     resolve_max_workers,
 )
+from repro.parallel.pool import PersistentPool, active_pool
 from repro.parallel.shm import (
     TRANSPORT_ENV,
     TRANSPORT_MODES,
@@ -42,6 +43,8 @@ __all__ = [
     "TRANSPORT_ENV",
     "TRANSPORT_MODES",
     "ParallelResult",
+    "PersistentPool",
+    "active_pool",
     "parallel_map",
     "resolve_max_workers",
     "set_transport_mode",

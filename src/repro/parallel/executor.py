@@ -207,6 +207,15 @@ def parallel_map(
     if "fork" not in multiprocessing.get_all_start_methods():
         return _serial_fallback(fn, items, workers, reason="no-fork")
 
+    # An installed PersistentPool serves every picklable workload with
+    # already-warm workers; closures keep the cold fork path below,
+    # which inherits them copy-on-write through _WORKER_FN.
+    from repro.parallel import pool as _pool_mod  # deferred: avoids import cycle
+
+    active = _pool_mod.active_pool()
+    if active is not None and _pool_mod.is_picklable(fn):
+        return active.map(fn, items, chunk_size=chunk_size)
+
     chunks = _chunk_indices(len(items), workers, chunk_size)
     workers = min(workers, len(chunks))
     obs.gauge("parallel.workers").set(workers)

@@ -1,0 +1,402 @@
+"""Persistent warm worker pool for sustained multi-call workloads.
+
+:func:`~repro.parallel.executor.parallel_map` forks a fresh process
+pool per call. That is the right trade for one sweep — closures cross
+the fork boundary for free — but sustained corpus generation
+(:mod:`repro.datasets`) issues *many* map calls, and each cold pool
+pays fork + executor spin-up again, then throws away every
+scene-invariant cache entry (:mod:`repro.sim.cache`) its workers just
+warmed.
+
+:class:`PersistentPool` keeps one forked pool alive across calls:
+
+* **Warm state.** Workers are forked once (inheriting the parent's
+  caches copy-on-write) and then *keep* everything they warm up —
+  ``repro.sim.cache`` entries, imported modules, the shm resource
+  tracker — across chunks and across map calls. The active kernel mode
+  and transport are shipped with every chunk, so a parent-side
+  ``--kernels``/``--transport`` change reaches workers forked earlier.
+* **Picklable functions only.** A persistent pool cannot rely on
+  fork-time closure inheritance (it forked before your closure
+  existed), so the chunk function crosses the pipe by pickle. Use
+  module-level functions or :func:`functools.partial` over picklable
+  arguments; :func:`parallel_map` falls back to its cold-fork path for
+  closures automatically.
+* **Streaming.** :meth:`imap_chunks` yields ordered per-chunk results
+  as they arrive with a bounded submission window, so a consumer (the
+  dataset shard writer) runs with bounded memory no matter how large
+  the item list is.
+* **Lifecycle.** ``shutdown()`` is idempotent and also runs from a
+  context-manager exit and an ``atexit`` hook, so no run ends with
+  zombie workers. Shared-memory arenas are swept on every exit path —
+  success, trial exception, ``KeyboardInterrupt``, broken pool — and a
+  broken pool degrades the *current* call to the in-process serial
+  loop (bit-identical: the parent's RNG copies never advanced) while
+  the next call forks a fresh pool.
+
+Entering the pool as a context manager also installs it process-wide:
+every :func:`parallel_map` call issued underneath (sweeps, campaigns,
+dataset generation) routes through the warm pool when its function is
+picklable. See ``docs/PERFORMANCE.md`` for the measured warm-vs-cold
+speedup (``bench.parallel.warm_pool_speedup``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterator, Sequence
+
+from repro import kernels, obs
+from repro.errors import ConfigurationError
+from repro.obs import stream
+from repro.parallel import executor as _executor
+from repro.parallel import shm
+from repro.parallel.executor import ParallelResult, resolve_max_workers
+
+__all__ = ["PersistentPool", "active_pool", "is_picklable"]
+
+#: In-flight chunk futures per map call: enough to keep every worker
+#: busy through result consumption, bounded so a streaming consumer
+#: never buffers an unbounded backlog of finished chunks.
+_WINDOW_PER_WORKER = 3
+
+
+class _PoolBroken(Exception):
+    """Internal: the executor died; the caller should degrade to serial."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def is_picklable(fn: Callable[[Any], Any]) -> bool:
+    """Can ``fn`` cross the pipe to an already-forked worker?"""
+    try:
+        pickle.dumps(fn)
+        return True
+    except Exception:  # noqa: BLE001  # milback: disable=ML004 — arbitrary __reduce__ failures all mean "no"
+        return False
+
+
+def _run_pool_chunk(
+    fn: Callable[[Any], Any],
+    payloads: Any,
+    transport: str,
+    kernel_mode: str,
+) -> tuple[Any, dict, list[dict], list[dict], float]:
+    """Worker side of one persistent-pool chunk.
+
+    Mirrors :func:`repro.parallel.executor._run_chunk`, except the trial
+    function arrives by pickle (the worker forked before it existed)
+    and the parent's current kernel mode rides along so warm workers
+    track overrides set after the fork.
+    """
+    _executor._IN_WORKER = True
+    kernels.set_kernel_mode(kernel_mode)
+    if transport == "shm":
+        shm.purge_attached()
+        payloads = shm.unpack_views(payloads)
+    obs.reset()
+    obs.get_tracer().detach_open_spans()
+    t0 = time.perf_counter()
+    result: Any = [fn(payload) for payload in payloads]
+    if transport == "shm":
+        result, result_arena = shm.pack(result)
+        obs.counter("parallel.bytes_shipped", path="shm").inc(result.nbytes)
+        if result_arena is not None:
+            # Close only the mapping; the parent unlinks the segment
+            # after copying the results out (shm.unpack_copies).
+            result_arena.close()
+    state = obs.get_registry().dump_state()
+    spans = [s.to_dict() for s in obs.get_tracer().finished_spans()]
+    events = [e.to_dict() for e in obs.get_tracer().events()]
+    return result, state, spans, events, t0
+
+
+def _noop(_: Any) -> None:
+    """Warm-up task: forks the workers without doing any work."""
+    return None
+
+
+class PersistentPool:
+    """A reusable forked worker pool with explicit lifecycle.
+
+    Construct once, issue any number of :meth:`map` /
+    :meth:`imap_chunks` calls, then :meth:`shutdown` (or use ``with``).
+    Entering as a context manager additionally installs the pool as the
+    process-wide routing target for :func:`parallel_map`.
+    """
+
+    def __init__(self, max_workers: int | None = None, chunk_size: int | None = None) -> None:
+        self.max_workers = resolve_max_workers(max_workers)
+        self.chunk_size = chunk_size
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+        self._maps_served = 0
+        self._previous_active: PersistentPool | None = None
+        atexit.register(self.shutdown)
+
+    # --- lifecycle -------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live forked workers (empty before the first map)."""
+        if self._pool is None:
+            return []
+        return list(self._pool._processes)  # noqa: SLF001 — stdlib keeps no public view
+
+    def warm(self) -> "PersistentPool":
+        """Fork the workers now so later maps pay no spin-up cost."""
+        if self.max_workers > 1:
+            self.map(_noop, list(range(self.max_workers)), chunk_size=1)
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers and release every pool resource (idempotent)."""
+        pool, self._pool = self._pool, None
+        already_closed, self._closed = self._closed, True
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
+            obs.counter("parallel.pool.shutdowns").inc()
+        if not already_closed:
+            atexit.unregister(self.shutdown)
+
+    def __enter__(self) -> "PersistentPool":
+        global _ACTIVE
+        self._previous_active = _ACTIVE
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _ACTIVE
+        if _ACTIVE is self:
+            _ACTIVE = self._previous_active
+        self._previous_active = None
+        self.shutdown()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise ConfigurationError("PersistentPool is shut down")
+        if self._pool is None:
+            if "fork" not in multiprocessing.get_all_start_methods():
+                raise _PoolBroken("no-fork")
+            # One resource tracker, spawned pre-fork, for every arena
+            # either side creates over the pool's whole lifetime.
+            shm.ensure_tracker()
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+            except (OSError, ValueError) as exc:
+                raise _PoolBroken(type(exc).__name__) from exc
+            obs.counter("parallel.pool.spawns").inc()
+        else:
+            obs.counter("parallel.pool.reuses").inc()
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a broken executor; the next map call forks a fresh one."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        obs.counter("parallel.pool.breaks").inc()
+
+    # --- execution -------------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        chunk_size: int | None = None,
+    ) -> ParallelResult:
+        """Run ``fn`` over ``items`` on the warm pool, preserving order.
+
+        Same contract as :func:`parallel_map` — ordered values, worker
+        obs deltas merged, serial fallback on infrastructure failure —
+        but reusing this pool's live workers. ``fn`` must be picklable.
+        """
+        items = list(items)
+        workers = self.max_workers
+        if workers <= 1 or len(items) <= 1:
+            return ParallelResult(
+                values=_executor._serial_loop(fn, items),
+                workers=1,
+                n_chunks=0,
+                fallback_reason="serial",
+            )
+        if not is_picklable(fn):
+            return _executor._serial_fallback(fn, items, workers, reason="unpicklable")
+        chunks = _executor._chunk_indices(len(items), workers, chunk_size or self.chunk_size)
+        values: list[Any] = []
+        try:
+            for chunk_values in self._run_chunks(fn, items, chunks):
+                values.extend(chunk_values)
+        except _PoolBroken as exc:
+            # Chunks already consumed stay; only the remainder reruns
+            # in-process. Bit-identical either way — the parent's RNG
+            # copies inside `items` were never advanced.
+            rest = _executor._serial_fallback(
+                fn, items[len(values) :], workers, reason=exc.reason
+            )
+            return ParallelResult(
+                values=values + rest.values,
+                workers=1,
+                n_chunks=0,
+                fallback_reason=exc.reason,
+            )
+        return ParallelResult(
+            values=values, workers=min(workers, len(chunks)), n_chunks=len(chunks)
+        )
+
+    def imap_chunks(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        chunk_size: int | None = None,
+    ) -> Iterator[list[Any]]:
+        """Yield ordered per-chunk value lists as chunks complete.
+
+        The streaming interface behind :mod:`repro.datasets`: the
+        consumer sees chunk results in item order while later chunks
+        are still in flight, with at most ``3 × max_workers`` chunks
+        in flight at once. On a broken pool the not-yet-yielded chunks
+        rerun in-process — results stay bit-identical because their
+        RNG streams (inside ``items``) were never advanced.
+        """
+        items = list(items)
+        workers = self.max_workers
+        serial_from = 0
+        if workers > 1 and len(items) > 1 and is_picklable(fn):
+            chunks = _executor._chunk_indices(len(items), workers, chunk_size or self.chunk_size)
+            done_chunks = 0
+            try:
+                for chunk_values in self._run_chunks(fn, items, chunks):
+                    done_chunks += 1
+                    yield chunk_values
+                return
+            except _PoolBroken as exc:
+                obs.counter("parallel.fallbacks", reason=exc.reason).inc()
+                serial_from = sum(len(chunk) for chunk in chunks[:done_chunks])
+        elif workers > 1 and len(items) > 1:
+            obs.counter("parallel.fallbacks", reason="unpicklable").inc()
+        for i in range(serial_from, len(items)):
+            yield [fn(items[i])]
+            stream.tick(done=i + 1, total=len(items), force=i + 1 == len(items))
+
+    def _run_chunks(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        chunks: list[range],
+    ) -> Iterator[list[Any]]:
+        """Submit chunks through a bounded window; yield results in order.
+
+        Raises :class:`_PoolBroken` (after cleaning up) when the pool
+        infrastructure dies; trial exceptions propagate unchanged.
+        """
+        pool = self._ensure_pool()
+        self._maps_served += 1
+        transport = shm.transport_mode()
+        kernel_mode = kernels.kernel_mode()
+        workers = min(self.max_workers, len(chunks))
+        obs.gauge("parallel.workers").set(workers)
+        obs.counter("parallel.maps").inc()
+        obs.counter("parallel.tasks").inc(len(items))
+        obs.counter("parallel.chunks").inc(len(chunks))
+        obs.counter("parallel.pool.chunks").inc(len(chunks))
+        window = _WINDOW_PER_WORKER * self.max_workers
+        item_arenas: dict[int, Any] = {}
+        pending: dict[int, tuple[Any, float]] = {}
+        emitter = stream.get_emitter()
+        next_submit = 0
+        done_items = 0
+
+        def _submit_next() -> None:
+            nonlocal next_submit
+            chunk_index = next_submit
+            payload: Any = [items[i] for i in chunks[chunk_index]]
+            if transport == "shm":
+                payload, arena = shm.pack(payload)
+                if arena is not None:
+                    item_arenas[chunk_index] = arena
+                obs.counter("parallel.bytes_shipped", path="shm").inc(payload.nbytes)
+            obs.counter("parallel.bytes_shipped", path="pickle").inc(
+                len(pickle.dumps(payload))
+            )
+            future = pool.submit(_run_pool_chunk, fn, payload, transport, kernel_mode)
+            pending[chunk_index] = (future, time.perf_counter())
+            next_submit += 1
+
+        def _sweep() -> None:
+            for future, _ in pending.values():
+                future.cancel()
+            pending.clear()
+            while item_arenas:
+                _, leftover = item_arenas.popitem()
+                shm.destroy(leftover)
+
+        try:
+            with obs.span("parallel.pool.map", tasks=len(items), workers=workers):
+                for chunk_index in range(len(chunks)):
+                    while next_submit < len(chunks) and len(pending) < window:
+                        _submit_next()
+                    future, dispatched = pending[chunk_index]
+                    while True:
+                        try:
+                            chunk_values, state, spans, events, t0 = future.result(
+                                timeout=emitter.interval_s if emitter else None
+                            )
+                            break
+                        except FutureTimeoutError:
+                            stream.tick(done=done_items, total=len(items))
+                    del pending[chunk_index]
+                    if transport == "shm":
+                        chunk_values = shm.unpack_copies(chunk_values)
+                        arena = item_arenas.pop(chunk_index, None)
+                        if arena is not None:
+                            shm.destroy(arena)
+                    offset = dispatched - t0
+                    obs.get_registry().merge_state(state)
+                    obs.get_tracer().absorb_spans(spans, offset_s=offset)
+                    obs.get_tracer().absorb_events(events, offset_s=offset)
+                    done_items += len(chunk_values)
+                    stream.tick(
+                        done=done_items,
+                        total=len(items),
+                        force=done_items == len(items),
+                    )
+                    yield chunk_values
+        except (BrokenProcessPool, OSError) as exc:
+            # Workers died underneath us; this pool is unusable, but the
+            # PersistentPool object survives — the next call re-forks.
+            self._discard_pool()
+            raise _PoolBroken(type(exc).__name__) from exc
+        except (KeyboardInterrupt, SystemExit):
+            # The user is bailing out: reap the workers *now* so nothing
+            # outlives the interrupt, then let it propagate.
+            self.shutdown(wait=True)
+            raise
+        finally:
+            _sweep()
+
+
+# --- process-wide routing ----------------------------------------------------------
+
+_ACTIVE: PersistentPool | None = None
+
+
+def active_pool() -> PersistentPool | None:
+    """The pool installed by ``with PersistentPool(...)``, if any."""
+    if _ACTIVE is not None and _ACTIVE.closed:
+        return None
+    return _ACTIVE

@@ -44,6 +44,7 @@ __all__ = [
     "ChirpGrid",
     "SceneInvariantCache",  # milback: disable=ML014 — public cache API
     "backscatter_gain_db",
+    "cache_sizes",  # milback: disable=ML014 — public warmth probe
     "chirp_grid",
     "clear_caches",
     "clutter_paths",  # milback: disable=ML014 — public cache API
@@ -118,6 +119,16 @@ def clear_caches() -> None:
     """Empty every scene-invariant cache (tests, memory pressure)."""
     for cache in _ALL_CACHES:
         cache.clear()
+
+
+def cache_sizes() -> dict[str, int]:
+    """Current entry count per cache, by cache name.
+
+    A cheap warmth probe: a persistent-pool worker that reports the same
+    non-zero sizes chunk after chunk is demonstrably reusing its caches
+    rather than rebuilding them (see ``docs/PERFORMANCE.md``).
+    """
+    return {cache.name: len(cache) for cache in _ALL_CACHES}
 
 
 # --- chirp time/frequency grids ------------------------------------------------------

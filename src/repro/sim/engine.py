@@ -29,7 +29,7 @@ from repro.constants import SPEED_OF_LIGHT
 from repro.dsp.envelope import two_tone_mean_envelope
 from repro.dsp.noise import thermal_noise_power_w
 from repro.dsp.signal import Signal
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LocalizationError
 from repro.kernels import burst as burst_kernel
 from repro.node.node import BackscatterNode
 from repro.phy.ber import measure_ber
@@ -41,6 +41,7 @@ from repro.utils.rng import RngLike, make_rng
 __all__ = [
     "LocalizationResult",
     "ApOrientationResult",
+    "BurstObservables",
     "NodeOrientationResult",
     "DownlinkResult",
     "UplinkResult",
@@ -68,6 +69,28 @@ class LocalizationResult:
     @property
     def angle_error_deg(self) -> float:
         return self.angle_est_deg - self.angle_true_deg
+
+
+@dataclass(frozen=True)
+class BurstObservables:
+    """Everything one Field-2 burst exposes to a downstream consumer.
+
+    The dataset factory's unit of observation: the raw dechirped burst
+    (for feature extraction), link-budget port powers and mean envelope
+    magnitudes (classical signal-strength features), and the classical
+    localization estimate when one was possible — ``None`` when the
+    estimator found no usable peak (heavy faults, deep NLOS), which is
+    itself a label worth keeping.
+    """
+
+    #: Dechirped burst, shape ``(n_chirps, n_rx, n_samples)`` complex128.
+    samples: np.ndarray
+    sample_rate_hz: float
+    #: Received backscatter power per FSA port (A, B), dBm at the AP.
+    port_power_dbm: tuple[float, float]
+    #: Mean envelope magnitude per RX antenna, volts.
+    envelope_mean_v: tuple[float, ...]
+    localization: LocalizationResult | None
 
 
 @dataclass(frozen=True)
@@ -571,6 +594,57 @@ class MilBackSimulator:
             angle_est_deg=aoa.angle_deg + self._aoa_bias_deg,
             angle_true_deg=self.budget.node_azimuth_deg(),
             beat_frequency_hz=estimate.beat_frequency_hz,
+        )
+
+    @obs.traced("engine.observe", count="engine.observe.trials")
+    def observe_burst(self, radial_velocity_mps: float = 0.0) -> BurstObservables:
+        """One Field-2 burst, returned as raw observables plus estimates.
+
+        The dataset-factory entry point: unlike
+        :meth:`simulate_localization` it keeps the dechirped samples
+        (feature extraction happens downstream, batched across rows)
+        and degrades gracefully — a burst the classical estimator
+        cannot localize still yields a row, with
+        ``localization=None`` and ``engine.observe.failed`` bumped.
+        """
+        records = self._beat_records(
+            toggled_port="both", radial_velocity_mps=radial_velocity_mps
+        )
+        # (n_chirps, n_rx, n) — the same layout the burst kernel produces.
+        samples = np.stack(
+            [np.stack([rec.samples for rec in per_antenna]) for per_antenna in records],
+            axis=1,
+        )
+        chirp = self.ap.config.ranging_chirp
+        port_power_dbm = (
+            self.budget.tx_power_dbm
+            + simcache.backscatter_gain_db(self.budget, FsaPort.A, chirp.center_hz),
+            self.budget.tx_power_dbm
+            + simcache.backscatter_gain_db(self.budget, FsaPort.B, chirp.center_hz),
+        )
+        envelope_mean_v = tuple(
+            float(np.mean(np.abs(samples[:, m, :]))) for m in range(samples.shape[1])
+        )
+        localization: LocalizationResult | None
+        try:
+            estimate = self.ap.fmcw.estimate_range(records[0])
+            aoa = self.ap.aoa.estimate(records[0], records[1], estimate.beat_frequency_hz)
+            localization = LocalizationResult(
+                distance_est_m=estimate.distance_m * (1.0 + self._slope_error),
+                distance_true_m=self.budget.node_distance_m(),
+                angle_est_deg=aoa.angle_deg + self._aoa_bias_deg,
+                angle_true_deg=self.budget.node_azimuth_deg(),
+                beat_frequency_hz=estimate.beat_frequency_hz,
+            )
+        except LocalizationError:
+            obs.counter("engine.observe.failed").inc()
+            localization = None
+        return BurstObservables(
+            samples=samples,
+            sample_rate_hz=self.ap.config.beat_sample_rate_hz,
+            port_power_dbm=port_power_dbm,
+            envelope_mean_v=envelope_mean_v,
+            localization=localization,
         )
 
     @obs.traced("engine.velocity", count="engine.velocity.trials")

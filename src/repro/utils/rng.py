@@ -15,7 +15,7 @@ import numpy as np
 from repro import obs
 from repro.errors import ConfigurationError
 
-__all__ = ["make_rng", "spawn_rngs"]
+__all__ = ["make_rng", "spawn_rngs", "indexed_rngs"]
 
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
@@ -55,3 +55,23 @@ def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
         return [np.random.default_rng(int(s)) for s in seeds]
     seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def indexed_rngs(seed: int, index: int, count: int) -> list[np.random.Generator]:
+    """Derive row ``index``'s independent generators in O(1).
+
+    ``SeedSequence(seed, spawn_key=(index,))`` is, by NumPy's spawning
+    contract, the *same* sequence ``SeedSequence(seed).spawn(index + 1)[index]``
+    would produce — but without materializing the first ``index``
+    children. A corpus generator can therefore hand row *i* its streams
+    directly, from any worker, in any order, at any chunking, and the
+    draws match a serial front-to-back run bit for bit.
+    """
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    if index < 0:
+        raise ConfigurationError("index must be non-negative")
+    obs.counter("rng.indexed_rngs.calls").inc()
+    obs.counter("rng.generators.created").inc(count)
+    row_seq = np.random.SeedSequence(seed, spawn_key=(index,))
+    return [np.random.default_rng(child) for child in row_seq.spawn(count)]

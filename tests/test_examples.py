@@ -65,6 +65,13 @@ def test_room_survey(capsys):
     assert "warehouse" in out
 
 
+def test_dataset_consumer(capsys):
+    out = run_example("dataset_consumer.py", capsys)
+    assert "Dataset consumer" in out
+    assert "classical LOS" in out
+    assert "signal-strength range baseline" in out
+
+
 def test_multi_tag_inventory(capsys):
     out = run_example("multi_tag_inventory.py", capsys)
     assert "Inventory of 12 tags" in out

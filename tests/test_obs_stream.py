@@ -15,6 +15,7 @@ from repro.obs.stream import (
     HEARTBEAT_ENV,
     RING_SIZE,
     HeartbeatEmitter,
+    _health_from_deltas,
     resolve_interval,
 )
 
@@ -154,6 +155,52 @@ class TestHeartbeatEmitter:
         assert [r["seq"] for r in records] == [0, 1]
         assert all(r["type"] == "heartbeat" for r in records)
         assert records[1]["done"] == 2
+
+
+class TestHealthSection:
+    def test_cache_ratio_from_labelled_deltas(self):
+        deltas = {
+            "cache.hits{cache=gain}": 6.0,
+            "cache.hits{cache=steering}": 3.0,
+            "cache.misses{cache=gain}": 1.0,
+        }
+        assert _health_from_deltas(deltas) == {"cache": "90%"}
+
+    def test_shipped_bytes_scale_units(self):
+        assert _health_from_deltas(
+            {"parallel.bytes_shipped{path=shm}": 2048.0}
+        ) == {"shipped": "2.0KiB"}
+        assert _health_from_deltas(
+            {
+                "parallel.bytes_shipped{path=shm}": float(3 << 20),
+                "parallel.bytes_shipped{path=pickle}": float(1 << 20),
+            }
+        ) == {"shipped": "4.0MiB"}
+
+    def test_quiet_deltas_give_no_vitals(self):
+        assert _health_from_deltas({}) == {}
+        assert _health_from_deltas({"sweep.trials": 5.0}) == {}
+
+    def test_vitals_rendered_between_eta_and_counters(self):
+        emitter = HeartbeatEmitter(1.0, stream=io.StringIO(), clock=FakeClock())
+        obs.counter("cache.hits", cache="gain").inc(3)
+        obs.counter("cache.misses", cache="gain").inc(1)
+        obs.counter("parallel.bytes_shipped", path="shm").inc(4096)
+        beat = emitter.tick(1, 4, force=True)
+        assert beat.health == {"cache": "75%", "shipped": "4.0KiB"}
+        rendered = beat.render()
+        assert " cache=75% shipped=4.0KiB [" in rendered
+        assert rendered.index("1/4") < rendered.index("cache=75%")
+
+    def test_health_lands_in_jsonl_record(self):
+        obs.counter("cache.hits", cache="gain").inc(1)
+        obs.counter("cache.misses", cache="gain").inc(1)
+        emitter = HeartbeatEmitter(1.0, stream=io.StringIO(), clock=FakeClock())
+        # The constructor snapshots counters; move one afterwards.
+        obs.counter("cache.hits", cache="gain").inc(3)
+        obs.counter("cache.misses", cache="gain").inc(1)
+        beat = emitter.tick(2, 4, force=True)
+        assert beat.to_dict()["health"] == {"cache": "75%"}
 
 
 class TestModuleWiring:

@@ -30,6 +30,8 @@ from repro.faults.campaign import CampaignConfig, run_campaign
 from repro.parallel import (
     DEFAULT_WORKERS_ENV,
     ParallelResult,
+    PersistentPool,
+    active_pool,
     parallel_map,
     resolve_max_workers,
     set_transport_mode,
@@ -383,6 +385,173 @@ class TestShmTransport:
         }
         assert points[1] == points[2] == points[4]
         assert _shm_segments() == before
+
+
+def _toy_pool_task(task):
+    """Picklable (module-level) wrapper so tasks can ride a warm pool."""
+    return _toy_trial(task[0], task[1])
+
+
+def _pid_task(_):
+    return os.getpid()
+
+
+def _interrupt_task(_):
+    raise KeyboardInterrupt
+
+
+class TestPersistentPool:
+    def _toy_tasks(self, n, seed=7):
+        rngs = spawn_rngs(seed, n)
+        return [(float(i), rngs[i]) for i in range(n)]
+
+    def test_bitwise_identical_to_serial(self):
+        serial = [_toy_pool_task(t) for t in self._toy_tasks(10)]
+        obs.reset()
+        pool = PersistentPool(max_workers=3)
+        try:
+            result = pool.map(_toy_pool_task, self._toy_tasks(10))
+        finally:
+            pool.shutdown()
+        assert result.parallel
+        assert result.values == serial
+
+    def test_workers_reused_across_maps_then_reaped(self):
+        pool = PersistentPool(max_workers=2)
+        try:
+            first = set(pool.map(_pid_task, list(range(8)), chunk_size=1).values)
+            pids = pool.worker_pids()
+            second = set(pool.map(_pid_task, list(range(8)), chunk_size=1).values)
+            assert first and first | second <= set(pids)  # same forked workers
+            snapshot = obs.get_registry().snapshot()
+            assert snapshot["parallel.pool.spawns"]["value"] == 1
+            assert snapshot["parallel.pool.reuses"]["value"] == 1
+        finally:
+            pool.shutdown()
+        assert pool.worker_pids() == []
+        for pid in pids:
+            with pytest.raises(OSError):  # reaped: no such process
+                os.kill(pid, 0)
+
+    def test_map_after_shutdown_raises(self):
+        pool = PersistentPool(max_workers=2)
+        pool.shutdown()
+        with pytest.raises(ConfigurationError, match="shut down"):
+            pool.map(_pid_task, [1, 2, 3, 4])
+
+    def test_obs_deltas_merge_into_parent(self):
+        n = 9
+        with PersistentPool(max_workers=2) as pool:
+            pool.map(_toy_pool_task, self._toy_tasks(n))
+            snapshot = obs.get_registry().snapshot()
+            assert snapshot["toy.trials"]["value"] == n
+            assert snapshot["toy.draw"]["count"] == n
+
+    def test_imap_chunks_streams_in_order(self):
+        pool = PersistentPool(max_workers=2)
+        try:
+            streamed = list(
+                pool.imap_chunks(_toy_pool_task, self._toy_tasks(10), chunk_size=3)
+            )
+        finally:
+            pool.shutdown()
+        assert [len(chunk) for chunk in streamed] == [3, 3, 3, 1]
+        flat = [v for chunk in streamed for v in chunk]
+        assert flat == [_toy_pool_task(t) for t in self._toy_tasks(10)]
+
+    def test_unpicklable_fn_falls_back_serially(self):
+        with PersistentPool(max_workers=2) as pool:
+            result = pool.map(lambda x: x + 1, [1, 2, 3, 4])
+        assert result.values == [2, 3, 4, 5]
+        assert result.fallback_reason == "unpicklable"
+
+    def test_trial_exceptions_propagate_and_pool_survives(self):
+        pool = PersistentPool(max_workers=2)
+        try:
+            with pytest.raises(ValueError, match="task"):
+                pool.map(_boom_task, [1, 2, 3, 4])
+            # The pool is still usable afterwards.
+            assert pool.map(_pid_task, [1, 2, 3, 4]).values
+        finally:
+            pool.shutdown()
+
+    def test_parallel_map_routes_through_installed_pool(self):
+        with PersistentPool(max_workers=2) as pool:
+            assert active_pool() is pool
+            result = parallel_map(_pid_task, list(range(8)), max_workers=2)
+            assert set(result.values) <= set(pool.worker_pids())
+            assert obs.counter("parallel.pool.chunks").value > 0
+        assert active_pool() is None
+
+    def test_closures_keep_the_cold_fork_path(self):
+        with PersistentPool(max_workers=2):
+            result = parallel_map(lambda x: x + 1, list(range(8)), max_workers=2)
+            assert result.values == [i + 1 for i in range(8)]
+            snapshot = obs.get_registry().snapshot()
+            # The warm pool never saw the closure: no pool chunks ran.
+            assert "parallel.pool.chunks" not in snapshot
+
+    def test_shutdown_clears_routing(self):
+        with PersistentPool(max_workers=2) as pool:
+            pool.shutdown()
+            assert active_pool() is None
+            # parallel_map still works via its cold path.
+            assert parallel_map(_pid_task, [1, 2], max_workers=2).values
+
+    def test_broken_pool_degrades_serially_then_heals(self):
+        serial = [_toy_pool_task(t) for t in self._toy_tasks(8)]
+        obs.reset()
+        pool = PersistentPool(max_workers=2)
+        try:
+            pool.map(_pid_task, list(range(4)))  # fork the workers
+            for pid in pool.worker_pids():
+                os.kill(pid, 9)
+            result = pool.map(_toy_pool_task, self._toy_tasks(8))
+            assert result.values == serial  # bit-identical serial rerun
+            assert result.fallback_reason == "BrokenProcessPool"
+            assert obs.counter("parallel.pool.breaks").value == 1
+            # The next call forks a fresh pool and is parallel again.
+            healed = pool.map(_toy_pool_task, self._toy_tasks(8))
+            assert healed.parallel
+            assert healed.values == serial
+        finally:
+            pool.shutdown()
+
+    def test_no_shm_leak_on_success(self):
+        before = _shm_segments()
+        pool = PersistentPool(max_workers=2)
+        try:
+            pool.map(_array_trial, _array_items(6))
+        finally:
+            pool.shutdown()
+        assert _shm_segments() == before
+
+    def test_keyboard_interrupt_reaps_workers_and_arenas(self):
+        before = _shm_segments()
+        pool = PersistentPool(max_workers=2)
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                pool.map(_interrupt_task, list(range(8)))
+        finally:
+            pool.shutdown()
+        assert pool.closed
+        assert _shm_segments() == before
+
+    def test_no_shm_leak_after_broken_pool(self):
+        before = _shm_segments()
+        pool = PersistentPool(max_workers=2)
+        try:
+            pool.map(_array_trial, _array_items(4))
+            for pid in pool.worker_pids():
+                os.kill(pid, 9)
+            pool.map(_array_trial, _array_items(4))
+        finally:
+            pool.shutdown()
+        assert _shm_segments() == before
+
+
+def _boom_task(x):
+    raise ValueError(f"task {x}")  # milback: disable=ML004 — test payload
 
 
 class TestSweepPointP90:
