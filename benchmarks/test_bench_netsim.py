@@ -1,0 +1,46 @@
+"""Benchmark: fleet-scale discrete-event network simulation.
+
+Records the netsim performance trajectory in ``BENCH_obs.json``:
+
+* ``bench.netsim.events_per_s`` — raw event-kernel dispatch rate over
+  the 1000-node single-AP scenario (inventory + ARQ transfers at
+  link-budget fidelity), the unit the ISSUE's fleet-scale budget is
+  written in.
+* ``bench.netsim.wall_s`` — end-to-end wall time of that scenario; the
+  acceptance bar is well under 120 s, asserted hard here so a perf
+  regression cannot silently cross it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.netsim import run_scenario
+
+SCENARIO = "single-ap-1000"
+WALL_BUDGET_S = 120.0
+
+
+def test_bench_netsim_events_per_s(benchmark):
+    run_scenario(SCENARIO, seed=0)  # absorb warm-up (imports, caches)
+
+    start_s = time.perf_counter()
+    result = benchmark.pedantic(
+        lambda: run_scenario(SCENARIO, seed=0), rounds=1, iterations=1
+    )
+    wall_s = time.perf_counter() - start_s
+
+    assert result.inventoried == result.n_nodes
+    assert result.delivery_ratio > 0.9
+    events_per_s = result.events_processed / wall_s
+    obs.gauge("bench.netsim.events_per_s").set(events_per_s)
+    obs.gauge("bench.netsim.wall_s").set(wall_s)
+    # The ISSUE's hard acceptance bar for the 1000-node scenario.
+    assert wall_s < WALL_BUDGET_S
+    print(
+        f"\nnetsim: {SCENARIO} ran {result.events_processed} events in "
+        f"{wall_s:.2f} s ({events_per_s:.0f} events/s, "
+        f"{result.inventoried} tags inventoried, "
+        f"{result.transfers_delivered}/{result.transfers_total} delivered)"
+    )

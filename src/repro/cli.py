@@ -26,6 +26,12 @@ sharded NPZ + manifest (byte-identical at any ``--workers``), and
 ``dataset verify`` re-checks an existing corpus's checksums and schema
 — see ``docs/DATASETS.md``.
 
+``python -m repro netsim run`` executes one named fleet scenario on the
+discrete-event network simulator (1 AP x 1000 nodes, multi-AP roaming),
+and ``netsim matrix`` fans several scenarios across workers into a
+comparison table; JSON outputs are byte-identical at any worker count —
+see ``docs/NETWORK.md``.
+
 Runtime telemetry: ``--profile`` arms the sampling profiler and writes a
 self-contained flamegraph HTML; ``--heartbeat SECONDS`` streams progress
 snapshots to stderr during long sweeps; ``repro obs report`` aggregates
@@ -41,8 +47,8 @@ import sys
 from pathlib import Path
 from typing import Callable
 
-from repro import datasets, faults, kernels, obs, parallel
-from repro.errors import DatasetError, FaultInjectionError
+from repro import datasets, faults, kernels, netsim, obs, parallel
+from repro.errors import DatasetError, FaultInjectionError, NetworkSimError
 from repro.faults import campaign as faults_campaign
 from repro.obs import regress as obs_regress
 from repro.obs import report as obs_report
@@ -368,6 +374,50 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--out", metavar="DIR", required=True, help="corpus directory to verify"
     )
+    ns = sub.add_parser(
+        "netsim",
+        help="fleet-scale discrete-event network simulation (docs/NETWORK.md)",
+    )
+    ns_sub = ns.add_subparsers(dest="netsim_command", required=True)
+    ns_sub.add_parser("list", help="list the named scenario registry")
+    ns_run = ns_sub.add_parser("run", help="run one named scenario")
+    ns_run.add_argument(
+        "scenario", help="scenario name from 'netsim list'"
+    )
+    ns_run.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="run seed; a scenario is a pure function of (name, seed)",
+    )
+    ns_run.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the result as canonical (byte-stable) JSON",
+    )
+    _add_execution_args(ns_run)
+    ns_matrix = ns_sub.add_parser(
+        "matrix", help="run a scenario comparison matrix across workers"
+    )
+    ns_matrix.add_argument(
+        "--scenarios",
+        default="all",
+        help="comma-separated scenario names, or 'all' (default)",
+    )
+    ns_matrix.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="run seed shared by every scenario (folded per name)",
+    )
+    ns_matrix.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the matrix as canonical (byte-stable) JSON",
+    )
+    _add_execution_args(ns_matrix)
     ob = sub.add_parser("obs", help="inspect and gate observability artifacts")
     obs_sub = ob.add_subparsers(dest="obs_command", required=True)
     report = obs_sub.add_parser(
@@ -530,6 +580,28 @@ def _run_dataset_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_netsim(args: argparse.Namespace) -> int:
+    """Execute ``repro netsim run|matrix`` inside the obs window."""
+    seed = args.seed
+    try:
+        if args.netsim_command == "run":
+            results = [netsim.run_scenario(args.scenario, seed=seed)]
+        else:
+            if args.scenarios == "all":
+                names = sorted(netsim.SCENARIOS)
+            else:
+                names = list(_split_names(args.scenarios))
+            results = netsim.run_matrix(names, seed=seed, max_workers=args.workers)
+    except NetworkSimError as exc:
+        print(f"netsim: {exc}", file=sys.stderr)  # milback: disable=ML007 — CLI output
+        return 2
+    print(netsim.render_table(results))  # milback: disable=ML007 — CLI output
+    if args.json is not None:
+        document = netsim.matrix_document(results, seed)
+        Path(args.json).write_text(netsim.dump_json(document), encoding="utf-8")
+    return 0
+
+
 def _run_obs_report(args: argparse.Namespace) -> int:
     """Execute ``repro obs report``."""
     spans, problems = obs_report.load_trace_spans(args.trace)
@@ -582,6 +654,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "dataset" and args.dataset_command == "verify":
         obs.reset()
         return _run_dataset_verify(args)
+    if args.command == "netsim" and args.netsim_command == "list":
+        width = max(len(name) for name in netsim.SCENARIOS)
+        for name in sorted(netsim.SCENARIOS):
+            spec = netsim.SCENARIOS[name]
+            print(  # milback: disable=ML007 — CLI output
+                f"{name.ljust(width)}  v{spec.version}  {spec.description}"
+            )
+        return 0
     if args.command == "run" and args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(  # milback: disable=ML007 — CLI output
             f"unknown experiment {args.experiment!r}; "
@@ -609,6 +689,13 @@ def main(argv: list[str] | None = None) -> int:
             with obs.span("cli.dataset", out=str(args.out)):
                 obs.counter("cli.runs").inc()
                 status = _run_dataset_generate(args)
+        elif args.command == "netsim":
+            target = (
+                args.scenario if args.netsim_command == "run" else args.scenarios
+            )
+            with obs.span("cli.netsim", command=args.netsim_command, target=target):
+                obs.counter("cli.runs").inc()
+                status = _run_netsim(args)
         elif args.faults is not None:
             specs = faults.parse_fault_specs(args.faults)
             plan = faults.FaultPlan(specs, rng=args.fault_seed)

@@ -25,6 +25,7 @@ __all__ = [
     "StaticAnalysisError",
     "FaultInjectionError",
     "DatasetError",
+    "NetworkSimError",
 ]
 
 
@@ -86,3 +87,9 @@ class DatasetError(MilBackError):
     """A :mod:`repro.datasets` corpus is inconsistent on disk (manifest/
     shard mismatch, checksum failure, resume against a different
     configuration) or was asked for an impossible generation plan."""
+
+
+class NetworkSimError(MilBackError):
+    """The :mod:`repro.netsim` discrete-event layer was driven out of
+    contract (scheduling into the past, popping an empty queue, an
+    unknown scenario name, or an invalid scenario specification)."""

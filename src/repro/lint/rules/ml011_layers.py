@@ -8,7 +8,8 @@ protocol stack, and the protocol without the experiment harness:
         -> hardware/antennas                    (2, device models)
           -> channel/sim/kernels                (3, propagation + engine)
             -> node/ap/protocol                 (4, endpoints + MAC)
-              -> experiments/analysis/...       (5, harnesses)
+              -> netsim                         (5, fleet-scale network sim)
+                -> experiments/analysis/...     (6, harnesses)
 
 A module may import its own layer and anything below; importing *up*
 couples a foundation to its consumers and is reported unless the edge
@@ -46,6 +47,7 @@ LAYERS: tuple[frozenset[str], ...] = (
     frozenset({"hardware", "antennas"}),
     frozenset({"channel", "sim", "kernels"}),
     frozenset({"node", "ap", "protocol"}),
+    frozenset({"netsim"}),
     frozenset(
         {
             "experiments",
@@ -95,7 +97,8 @@ class ArchitectureLayerRule(ProjectRule):
     description = (
         "Modules may only import their own layer or below "
         "(constants/errors/utils -> phy/dsp -> hardware/antennas -> "
-        "channel/sim/kernels -> node/ap/protocol -> experiments/...); "
+        "channel/sim/kernels -> node/ap/protocol -> netsim -> "
+        "experiments/...); "
         "upward edges need a layering_allowlist.txt entry, cycles are "
         "always errors."
     )

@@ -1,0 +1,438 @@
+"""Fleet actors: nodes, access points, and the processes between them.
+
+The actors drive the *existing* protocol machinery over the event
+kernel. :class:`InventoryProcess` runs the same framed slotted-ALOHA
+algorithm as :class:`repro.protocol.inventory.SlottedInventory` — same
+RNG draw order, same Q-adaptation, same SDM collision resolution via
+:class:`repro.protocol.mac.SdmScheduler` — but frame by frame on the
+simulated clock, with each tag's reply additionally gated by the link
+budget (an out-of-range tag draws its slot and goes unheard). With all
+tags in range and the default frame cap, its result is *equal* to
+``SlottedInventory.run()`` on the same scene and seed; tests pin that.
+
+:class:`FleetLink` duck-types the one-link interface
+:class:`repro.protocol.arq.ReliableChannel` consumes, so the stock
+stop-and-wait ARQ runs unmodified over fleet-scale link budgets: packet
+success is a Bernoulli draw from the *node's own* RNG stream against
+``(1 - BER)**bits``, with BER from the same OOK matched-filter bound
+the physical layer uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.channel.mobility import WaypointTrajectory
+from repro.channel.scene import NodePlacement, Scene2D
+from repro.errors import NetworkSimError, ProtocolError
+from repro.node.firmware import PayloadDirection
+from repro.phy.ber import ook_matched_filter_ber
+from repro.protocol.arq import ReliableChannel, RetryBackoff, TransferResult
+from repro.protocol.inventory import InventoryResult, InventoryRound
+from repro.protocol.mac import SdmScheduler
+from repro.utils.geometry import Pose2D
+
+from repro.netsim.core import NetworkSimulation
+from repro.netsim.linkmodel import FleetLinkModel, LinkObservation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.netsim.roaming import RoamingController
+
+__all__ = [
+    "FleetNode",
+    "FleetAp",
+    "FleetLink",
+    "InventoryProcess",
+    "TransferProcess",
+]
+
+#: Preamble + header + CRC overhead added to every frame on the air.
+FRAME_OVERHEAD_BITS = 64
+
+#: Minimum node-side SNR for the downlink preamble to be detectable.
+MIN_DOWNLINK_SNR_DB = 6.0
+
+#: Minimum AP-side SINR for a backscatter reply to be detectable.
+MIN_UPLINK_SINR_DB = 0.0
+
+
+@dataclass
+class FleetNode:
+    """One backscatter tag in the fleet.
+
+    ``rng`` is the node's private stream (derived per entity index via
+    :func:`repro.utils.rng.indexed_rngs`), so its draws are independent
+    of every other node and of scheduling order.
+    """
+
+    node_id: str
+    index: int
+    pose: Pose2D
+    rng: np.random.Generator
+    trajectory: WaypointTrajectory | None = None
+    serving_ap: str | None = None
+
+    def pose_at(self, time_s: float) -> Pose2D:
+        """The node's pose at simulated time ``time_s``."""
+        if self.trajectory is not None:
+            return self.trajectory.pose_at(time_s)
+        return self.pose
+
+
+@dataclass
+class FleetAp:
+    """One access point: a pose plus the nodes it currently serves."""
+
+    ap_id: str
+    pose: Pose2D
+    members: list[str] = field(default_factory=list)
+
+
+class FleetLink:
+    """One (AP, node) link at budget fidelity, duck-typing ``MilBackLink``.
+
+    :class:`repro.protocol.arq.ReliableChannel` only needs
+    ``send_to_node`` / ``receive_from_node`` returning reports with
+    ``air_time_s`` and ``delivered``, raising :class:`ProtocolError`
+    when the far side never responds. Both paths evaluate the live
+    link budget at the simulation's current clock, so a node that moved
+    out of the beam mid-transfer fails exactly like the protocol layer's
+    out-of-range sessions do.
+    """
+
+    def __init__(
+        self,
+        sim: NetworkSimulation,
+        model: FleetLinkModel,
+        ap: FleetAp,
+        node: FleetNode,
+        interference_dbm: Callable[[float, Pose2D], tuple[float, ...]] | None = None,
+        min_downlink_snr_db: float = MIN_DOWNLINK_SNR_DB,
+        min_uplink_sinr_db: float = MIN_UPLINK_SINR_DB,
+    ) -> None:
+        self.sim = sim
+        self.model = model
+        self.ap = ap
+        self.node = node
+        self._interference_dbm = interference_dbm
+        self.min_downlink_snr_db = min_downlink_snr_db
+        self.min_uplink_sinr_db = min_uplink_sinr_db
+
+    def _observe(self) -> LinkObservation:
+        return self.model.observe(
+            self.ap.pose, self.node.pose_at(self.sim.now_s)
+        )
+
+    def _uplink_sinr_db(self, observation: LinkObservation) -> float:
+        interference: tuple[float, ...] = ()
+        if self._interference_dbm is not None:
+            node_pose = self.node.pose_at(self.sim.now_s)
+            interference = self._interference_dbm(self.sim.now_s, node_pose)
+        return self.model.uplink_sinr_db(observation, interference)
+
+    def _deliver(self, payload: bytes, bit_rate_bps: float, snr_db: float):
+        bits = len(payload) * 8 + FRAME_OVERHEAD_BITS
+        air_time_s = bits / bit_rate_bps
+        ber = float(ook_matched_filter_ber(snr_db))
+        success_probability = (1.0 - ber) ** bits
+        delivered = bool(self.node.rng.random() < success_probability)
+        return _DeliveryReport(air_time_s=air_time_s, delivered=delivered)
+
+    def send_to_node(self, payload: bytes, bit_rate_bps: float = 10e6):
+        """Downlink frame: AP illuminates, the node's detector decodes."""
+        observation = self._observe()
+        if observation.downlink_snr_db < self.min_downlink_snr_db:
+            raise ProtocolError(
+                f"node {self.node.node_id!r} cannot detect the downlink "
+                f"({observation.downlink_snr_db:.1f} dB at "
+                f"{observation.distance_m:.1f} m)"
+            )
+        return self._deliver(payload, bit_rate_bps, observation.downlink_snr_db)
+
+    def receive_from_node(self, payload: bytes, bit_rate_bps: float = 10e6):
+        """Uplink frame: the node backscatters, the AP decodes."""
+        observation = self._observe()
+        if observation.downlink_snr_db < self.min_downlink_snr_db:
+            raise ProtocolError(
+                f"node {self.node.node_id!r} never heard the query "
+                f"({observation.downlink_snr_db:.1f} dB downlink)"
+            )
+        sinr_db = self._uplink_sinr_db(observation)
+        if sinr_db < self.min_uplink_sinr_db:
+            raise ProtocolError(
+                f"backscatter from {self.node.node_id!r} below the AP's "
+                f"detection floor ({sinr_db:.1f} dB SINR)"
+            )
+        return self._deliver(payload, bit_rate_bps, sinr_db)
+
+
+@dataclass(frozen=True)
+class _DeliveryReport:
+    """Minimal delivery report matching what ``ReliableChannel`` reads."""
+
+    air_time_s: float
+    delivered: bool
+
+
+class InventoryProcess:
+    """Event-driven framed slotted-ALOHA inventory for one AP.
+
+    Draw-for-draw compatible with ``SlottedInventory.run()``: per frame
+    every pending tag draws ``rng.integers(0, frame_size)`` in pending
+    order, then singles resolve, SDM-separable collisions resolve, and
+    the next frame sizes to ``max(min(2 * collisions, frame_cap), 2)``.
+    The fleet layer adds (a) simulated air time — each frame occupies
+    ``frame_size * slot_s`` on the clock — and (b) link-budget gating:
+    a tag whose downlink or uplink margin is below the detection floors
+    still draws its slot but is never heard, so it can neither resolve
+    nor collide. Gating is threshold-based (no RNG draws), preserving
+    the draw sequence exactly.
+    """
+
+    def __init__(
+        self,
+        sim: NetworkSimulation,
+        model: FleetLinkModel,
+        ap: FleetAp,
+        nodes: dict[str, FleetNode],
+        rng: np.random.Generator,
+        sdm_separation_deg: float = 18.0,
+        max_rounds: int = 32,
+        frame_cap: int = 64,
+        slot_s: float = 25e-6,
+        interference_dbm: Callable[[float, Pose2D], tuple[float, ...]] | None = None,
+        on_complete: Callable[[InventoryResult], None] | None = None,
+    ) -> None:
+        if frame_cap < 2:
+            raise NetworkSimError("frame cap must be at least 2")
+        if max_rounds < 1:
+            raise NetworkSimError("need at least one inventory round")
+        if slot_s <= 0:
+            raise NetworkSimError("slot duration must be positive")
+        self.sim = sim
+        self.model = model
+        self.ap = ap
+        self.nodes = nodes
+        self.rng = rng
+        self.sdm_separation_deg = sdm_separation_deg
+        self.max_rounds = max_rounds
+        self.frame_cap = frame_cap
+        self.slot_s = slot_s
+        self._interference_dbm = interference_dbm
+        self._on_complete = on_complete
+        self.pending: list[str] = list(ap.members)
+        self.inventoried: list[str] = []
+        self.rounds: list[InventoryRound] = []
+        self.result: InventoryResult | None = None
+        self._frame_size = max(len(self.pending), 2)
+
+    def start(self) -> None:
+        """Schedule the first frame at the current simulated time."""
+        self.sim.log(
+            "netsim.inventory.start",
+            ap=self.ap.ap_id,
+            tags=len(self.pending),
+        )
+        self.sim.schedule(0.0, self._run_frame)
+
+    # --- internals -----------------------------------------------------------------
+
+    def _reachable(self, node_id: str) -> bool:
+        node = self.nodes[node_id]
+        observation = self.model.observe(
+            self.ap.pose, node.pose_at(self.sim.now_s)
+        )
+        if observation.downlink_snr_db < MIN_DOWNLINK_SNR_DB:
+            return False
+        interference: tuple[float, ...] = ()
+        if self._interference_dbm is not None:
+            interference = self._interference_dbm(
+                self.sim.now_s, node.pose_at(self.sim.now_s)
+            )
+        return (
+            self.model.uplink_sinr_db(observation, interference)
+            >= MIN_UPLINK_SINR_DB
+        )
+
+    def _frame_scene(self) -> Scene2D:
+        placements = tuple(
+            NodePlacement(self.nodes[node_id].pose_at(self.sim.now_s), node_id)
+            for node_id in self.pending
+        )
+        return Scene2D(self.ap.pose, placements, ())
+
+    def _run_frame(self) -> None:
+        if not self.pending or len(self.rounds) >= self.max_rounds:
+            self._finish()
+            return
+        frame_size = self._frame_size
+        # Every pending tag draws its slot — in pending order, exactly
+        # as SlottedInventory does — whether or not the AP can hear it.
+        slots: dict[int, list[str]] = {}
+        heard = 0
+        for tag in self.pending:
+            slot = int(self.rng.integers(0, frame_size))
+            if self._reachable(tag):
+                slots.setdefault(slot, []).append(tag)
+                heard += 1
+        scheduler: SdmScheduler | None = None
+        if any(len(occupants) > 1 for occupants in slots.values()):
+            scheduler = SdmScheduler(self._frame_scene(), self.sdm_separation_deg)
+        resolved: list[str] = []
+        singles = collisions = sdm_saves = 0
+        for occupants in slots.values():
+            if len(occupants) == 1:
+                singles += 1
+                resolved.append(occupants[0])
+                continue
+            assert scheduler is not None
+            separable = all(
+                not scheduler.conflicts(a, b)
+                for i, a in enumerate(occupants)
+                for b in occupants[i + 1 :]
+            )
+            if separable:
+                sdm_saves += 1
+                resolved.extend(occupants)
+            else:
+                collisions += 1
+        round_stats = InventoryRound(
+            frame_size=frame_size,
+            singles=singles,
+            collisions=collisions,
+            empties=frame_size - len(slots),
+            resolved_by_sdm=sdm_saves,
+        )
+        self.rounds.append(round_stats)
+        obs.counter("netsim.rounds").inc()
+        for tag in resolved:
+            self.pending.remove(tag)
+            self.inventoried.append(tag)
+        obs.counter("netsim.inventoried").inc(len(resolved))
+        self.sim.log(
+            "netsim.inventory.frame",
+            ap=self.ap.ap_id,
+            frame_size=frame_size,
+            heard=heard,
+            singles=singles,
+            collisions=collisions,
+            resolved_by_sdm=sdm_saves,
+            remaining=len(self.pending),
+        )
+        backlog = max(2 * round_stats.collisions, 1)
+        self._frame_size = max(min(backlog, self.frame_cap), 2)
+        self.sim.schedule(frame_size * self.slot_s, self._run_frame)
+
+    def _finish(self) -> None:
+        self.result = InventoryResult(tuple(self.inventoried), tuple(self.rounds))
+        self.sim.log(
+            "netsim.inventory.done",
+            ap=self.ap.ap_id,
+            inventoried=len(self.inventoried),
+            rounds=len(self.rounds),
+            total_slots=self.result.total_slots,
+        )
+        if self._on_complete is not None:
+            self._on_complete(self.result)
+
+
+class TransferProcess:
+    """Serial stop-and-wait ARQ transfers from inventoried tags to an AP.
+
+    One :class:`ReliableChannel` per node over a :class:`FleetLink`;
+    transfers are serialized on the AP's air interface, each scheduled
+    after the previous transfer's air + backoff time has elapsed on the
+    simulated clock.
+    """
+
+    def __init__(
+        self,
+        sim: NetworkSimulation,
+        model: FleetLinkModel,
+        ap: FleetAp,
+        nodes: dict[str, FleetNode],
+        node_ids: Sequence[str],
+        payload_bytes: int = 32,
+        bit_rate_bps: float = 10e6,
+        max_attempts: int = 4,
+        interference_dbm: Callable[[float, Pose2D], tuple[float, ...]] | None = None,
+        on_complete: Callable[["TransferProcess"], None] | None = None,
+    ) -> None:
+        if payload_bytes < 1:
+            raise NetworkSimError("payload must be at least one byte")
+        self.sim = sim
+        self.model = model
+        self.ap = ap
+        self.nodes = nodes
+        self.queue: list[str] = list(node_ids)
+        self.payload_bytes = payload_bytes
+        self.bit_rate_bps = bit_rate_bps
+        self.max_attempts = max_attempts
+        self._interference_dbm = interference_dbm
+        self._on_complete = on_complete
+        self.results: dict[str, TransferResult] = {}
+        self.delivered = 0
+        self.air_time_s = 0.0
+
+    def start(self) -> None:
+        """Schedule the first queued transfer."""
+        self.sim.schedule(0.0, self._run_next)
+
+    def _run_next(self) -> None:
+        if not self.queue:
+            self.sim.log(
+                "netsim.transfers.done",
+                ap=self.ap.ap_id,
+                delivered=self.delivered,
+                total=len(self.results),
+            )
+            if self._on_complete is not None:
+                self._on_complete(self)
+            return
+        node_id = self.queue.pop(0)
+        node = self.nodes[node_id]
+        link = FleetLink(
+            self.sim,
+            self.model,
+            self.ap,
+            node,
+            interference_dbm=self._interference_dbm,
+        )
+        channel = ReliableChannel(
+            link,
+            max_attempts=self.max_attempts,
+            backoff=RetryBackoff.fixed(100e-6),
+        )
+        payload = node_id.encode("ascii").ljust(self.payload_bytes, b"\x00")
+        result = channel.send_reliable(
+            payload, PayloadDirection.UPLINK, self.bit_rate_bps
+        )
+        self.results[node_id] = result
+        self.air_time_s += result.air_time_s
+        if result.delivered:
+            self.delivered += 1
+        obs.counter(
+            "netsim.transfers", delivered=str(result.delivered).lower()
+        ).inc()
+        self.sim.log(
+            "netsim.transfer",
+            ap=self.ap.ap_id,
+            node=node_id,
+            delivered=result.delivered,
+            attempts=result.attempts,
+        )
+        # The next transfer starts once this one's air + pacing time has
+        # elapsed on the shared air interface.
+        self.sim.schedule(
+            result.air_time_s + result.wait_time_s + 10e-6, self._run_next
+        )
+
+    def delivery_ratio(self) -> float:
+        """Delivered transfers over attempted transfers."""
+        if not self.results:
+            return 0.0
+        return self.delivered / len(self.results)

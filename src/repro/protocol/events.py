@@ -7,9 +7,11 @@ happened on the air.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from repro import obs
 from repro.errors import ConfigurationError
 
 __all__ = ["Event", "EventLog"]
@@ -41,12 +43,39 @@ class EventLog:
     A ``sink`` (any callable taking an :class:`Event`) observes every
     record as it happens — the hook :func:`repro.obs.attach_event_log`
     uses to mirror the simulated-time log into the wall-time trace.
+
+    ``capacity`` bounds the retained history: once full, recording a
+    new event evicts the oldest one (a ring buffer) and bumps the
+    ``protocol.events.dropped`` counter. Long-running network
+    simulations set a capacity so a million-event run keeps constant
+    memory; the default (``None``, unbounded) preserves the original
+    semantics bit for bit — evicted or not, every event keeps the
+    monotone ``index`` it was recorded with, and an attached sink still
+    observes every record.
     """
 
-    def __init__(self, sink: Callable[[Event], None] | None = None) -> None:
-        self._events: list[Event] = []
+    def __init__(
+        self,
+        sink: Callable[[Event], None] | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError("event-log capacity must be at least 1")
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._capacity = capacity
+        self._next_index = 0
         self._clock_s = 0.0
         self._sink = sink
+
+    @property
+    def capacity(self) -> int | None:
+        """Ring capacity (``None`` = unbounded)."""
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted so far by the bounded ring."""
+        return self._next_index - len(self._events)
 
     def attach_sink(self, sink: Callable[[Event], None] | None) -> None:
         """Set (or clear, with ``None``) the forwarding sink."""
@@ -70,7 +99,10 @@ class EventLog:
 
     def record(self, kind: str, **detail: Any) -> Event:
         """Log an event at the current time (and forward it to the sink)."""
-        event = Event(self._clock_s, kind, dict(detail), index=len(self._events))
+        event = Event(self._clock_s, kind, dict(detail), index=self._next_index)
+        self._next_index += 1
+        if self._capacity is not None and len(self._events) == self._capacity:
+            obs.counter("protocol.events.dropped").inc()
         self._events.append(event)
         if self._sink is not None:
             self._sink(event)

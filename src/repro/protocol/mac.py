@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.channel.scene import Scene2D
-from repro.errors import ProtocolError
+from repro.errors import ChannelError, ProtocolError
 from repro.utils.geometry import angle_between_deg
 
 __all__ = ["SdmGroup", "SdmScheduler"]
@@ -31,6 +31,16 @@ class SdmScheduler:
     Equivalent to greedy graph coloring of the conflict graph whose edges
     join nodes closer than ``min_separation_deg`` in azimuth; greedy on
     azimuth-sorted nodes is optimal for such interval-overlap conflicts.
+
+    Because the sweep processes nodes in ascending azimuth, a candidate
+    conflicts with *some* member of a group iff it conflicts with the
+    group's first or last member: the linear difference is smallest
+    against the last-added (largest) azimuth and the wrap-around
+    difference is smallest against the first (smallest) azimuth, and
+    the circular distance to any interior member is bounded below by
+    one of those two. That turns the per-group membership test into two
+    comparisons, so scheduling a 1000-node fleet inside an inventory
+    round costs one sort instead of O(n²) pairwise ``conflicts`` calls.
     """
 
     def __init__(self, scene: Scene2D, min_separation_deg: float = 18.0) -> None:
@@ -40,24 +50,50 @@ class SdmScheduler:
             raise ProtocolError("scene has no nodes to schedule")
         self.scene = scene
         self.min_separation_deg = min_separation_deg
+        self._azimuths: dict[str, float] | None = None
+
+    def _azimuth_map(self) -> dict[str, float]:
+        """Node azimuths computed once per (immutable) scene.
+
+        First placement wins on duplicate ids, matching
+        :meth:`Scene2D.node` lookup order.
+        """
+        if self._azimuths is None:
+            azimuths: dict[str, float] = {}
+            for placement in self.scene.nodes:
+                azimuths.setdefault(
+                    placement.node_id,
+                    self.scene.ap_pose.relative_bearing_to(placement.pose),
+                )
+            self._azimuths = azimuths
+        return self._azimuths
 
     def conflicts(self, node_id_a: str, node_id_b: str) -> bool:
         """Whether two nodes are too close in azimuth to share a slot."""
-        az_a = self.scene.node_azimuth_deg(node_id_a)
-        az_b = self.scene.node_azimuth_deg(node_id_b)
+        azimuths = self._azimuth_map()
+        try:
+            az_a, az_b = azimuths[node_id_a], azimuths[node_id_b]
+        except KeyError as exc:
+            raise ChannelError(f"no node with id {exc.args[0]!r}") from None
         return abs(angle_between_deg(az_a, az_b)) < self.min_separation_deg
 
     def schedule(self) -> list[SdmGroup]:
         """Partition all nodes into concurrent SDM groups."""
-        ordered = sorted(
-            (placement.node_id for placement in self.scene.nodes),
-            key=self.scene.node_azimuth_deg,
-        )
+        azimuths = self._azimuth_map()
+        ordered = sorted(azimuths, key=azimuths.__getitem__)
+        sep_deg = self.min_separation_deg
         groups: list[list[str]] = []
         for node_id in ordered:
+            az = azimuths[node_id]
             placed = False
             for group in groups:
-                if not any(self.conflicts(node_id, member) for member in group):
+                near_last = (
+                    abs(angle_between_deg(az, azimuths[group[-1]])) < sep_deg
+                )
+                near_first = near_last or (
+                    abs(angle_between_deg(az, azimuths[group[0]])) < sep_deg
+                )
+                if not near_first:
                     group.append(node_id)
                     placed = True
                     break

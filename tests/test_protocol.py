@@ -173,3 +173,118 @@ class TestSdmScheduler:
         scene = self.multi_node_scene([0.0, 4.0])
         scheduler = SdmScheduler(scene)
         assert scheduler.conflicts("node-0", "node-1")
+
+
+class TestSdmSweepEquivalence:
+    """The interval-sweep schedule must equal the original greedy."""
+
+    @staticmethod
+    def reference_schedule(scheduler: SdmScheduler) -> list[tuple[str, ...]]:
+        """The pre-sweep O(n^2) greedy, kept verbatim as the oracle."""
+        azimuths = {
+            p.node_id: scheduler.scene.node_azimuth_deg(p.node_id)
+            for p in scheduler.scene.nodes
+        }
+        ordered = sorted(azimuths, key=azimuths.__getitem__)
+        groups: list[list[str]] = []
+        for node_id in ordered:
+            placed = False
+            for group in groups:
+                if not any(scheduler.conflicts(node_id, member) for member in group):
+                    group.append(node_id)
+                    placed = True
+                    break
+            if not placed:
+                groups.append([node_id])
+        return [tuple(group) for group in groups]
+
+    @staticmethod
+    def random_scene(rng: np.random.Generator, n_nodes: int) -> Scene2D:
+        placements = []
+        for i in range(n_nodes):
+            azimuth = float(rng.uniform(-180.0, 180.0))
+            distance = float(rng.uniform(1.0, 10.0))
+            x = distance * np.cos(np.radians(azimuth))
+            y = distance * np.sin(np.radians(azimuth))
+            placements.append(
+                NodePlacement(Pose2D.at(x, y, azimuth + 180.0), f"node-{i}")
+            )
+        return Scene2D(Pose2D.at(0.0, 0.0, 0.0), tuple(placements), ())
+
+    @pytest.mark.parametrize("trial", range(20))
+    def test_matches_reference_on_random_scenes(self, trial):
+        rng = np.random.default_rng(1000 + trial)
+        n_nodes = int(rng.integers(1, 40))
+        separation = float(rng.uniform(3.0, 40.0))
+        scheduler = SdmScheduler(
+            self.random_scene(rng, n_nodes), min_separation_deg=separation
+        )
+        swept = [g.node_ids for g in scheduler.schedule()]
+        assert swept == self.reference_schedule(scheduler)
+
+    def test_wraparound_conflict_detected(self):
+        # +179 and -179 are only 2 degrees apart circularly: the sweep
+        # must not co-schedule them just because the linear gap is 358.
+        scheduler = SdmScheduler(
+            self.random_scene(np.random.default_rng(0), 0).with_node(
+                NodePlacement(Pose2D.at(-5.0, 0.17, 0.0), "east")
+            ).with_node(
+                NodePlacement(Pose2D.at(-5.0, -0.17, 0.0), "west")
+            ),
+            min_separation_deg=18.0,
+        )
+        assert scheduler.slots_needed() == 2
+
+    def test_unknown_node_raises(self):
+        scheduler = SdmScheduler(Scene2D.single_node(2.0, node_id="n0"))
+        from repro.errors import ChannelError
+
+        with pytest.raises(ChannelError):
+            scheduler.conflicts("n0", "ghost")
+
+
+class TestEventLogRing:
+    def test_unbounded_by_default(self):
+        log = EventLog()
+        for i in range(100):
+            log.record("tick", i=i)
+        assert len(log) == 100
+        assert log.capacity is None
+        assert log.dropped == 0
+
+    def test_bounded_ring_evicts_oldest(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.record("tick", i=i)
+        assert len(log) == 3
+        assert [e.detail["i"] for e in log] == [2, 3, 4]
+        assert log.dropped == 2
+
+    def test_indices_stay_monotone_across_eviction(self):
+        log = EventLog(capacity=2)
+        for i in range(4):
+            log.record("tick", i=i)
+        assert [e.index for e in log] == [2, 3]
+
+    def test_dropped_counter_increments(self):
+        from repro import obs
+
+        obs.reset()
+        log = EventLog(capacity=1)
+        log.record("a")
+        log.record("b")
+        log.record("c")
+        assert obs.counter("protocol.events.dropped").value == 2
+
+    def test_sink_sees_every_record_despite_eviction(self):
+        seen = []
+        log = EventLog(sink=seen.append, capacity=1)
+        for i in range(3):
+            log.record("tick", i=i)
+        assert [e.detail["i"] for e in seen] == [0, 1, 2]
+
+    def test_invalid_capacity_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            EventLog(capacity=0)
